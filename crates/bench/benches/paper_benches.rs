@@ -1,0 +1,124 @@
+//! Criterion benches, one group per paper experiment family. Absolute
+//! numbers are machine-specific; the `repro` binary prints the full
+//! paper-shaped tables. These groups track regressions on the hot paths:
+//!
+//! * `tpch`   — representative TPC-H-shaped queries across all four engines
+//!              (Fig 13(a) family);
+//! * `tpcds`  — representative TPC-DS-shaped queries (Fig 13(b) family);
+//! * `twoway` — the Section 4 two-way join protocol;
+//! * `cycles` — vanilla vs heavy/light triangle counting (Section 6.1.2);
+//! * `loading`— TAG construction vs row+index loading (Tables 1-2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vcsql_bench::{prepare, run_system, Loaded, System};
+use vcsql_bsp::EngineConfig;
+use vcsql_core::cyclic::count_cycles;
+use vcsql_core::twoway::{two_way_join, TwoWaySpec};
+use vcsql_tag::TagGraph;
+use vcsql_workload::{synthetic, tpcds, tpch};
+
+fn bench_suite(
+    c: &mut Criterion,
+    group: &str,
+    loaded: &Loaded,
+    queries: &[vcsql_workload::BenchQuery],
+    pick: &[&str],
+) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for q in queries.iter().filter(|q| pick.contains(&q.id)) {
+        let a = prepare(loaded, q.sql).expect("analyzes");
+        for sys in System::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(q.id, sys.name()),
+                &(&a, sys),
+                |b, (a, sys)| b.iter(|| run_system(loaded, *sys, a).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn tpch_benches(c: &mut Criterion) {
+    let loaded = Loaded::new(tpch::generate(0.02, 42));
+    // One per class: LA (q3), scalar (q6), correlated (q17), cyclic (q5).
+    bench_suite(c, "tpch", &loaded, &tpch::queries(), &["q3", "q6", "q17", "q5"]);
+}
+
+fn tpcds_benches(c: &mut Criterion) {
+    let loaded = Loaded::new(tpcds::generate(0.02, 42));
+    bench_suite(c, "tpcds", &loaded, &tpcds::queries(), &["d_q37", "d_q7", "d_q22", "d_q32"]);
+}
+
+fn twoway_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("twoway");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for b_domain in [100i64, 10_000] {
+        let db = synthetic::two_way_db(4000, b_domain, 42);
+        let tag = TagGraph::build(&db);
+        let spec = TwoWaySpec {
+            left: "r",
+            right: "s",
+            on: vec![("b", "b")],
+            left_out: vec!["a"],
+            right_out: vec!["c"],
+        };
+        g.bench_function(BenchmarkId::new("join", format!("domain{b_domain}")), |b| {
+            b.iter(|| two_way_join(&tag, EngineConfig::default(), &spec).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn cycle_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cycles");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let db = synthetic::cycle_db(3, 2000, 300, 42);
+    let tag = TagGraph::build(&db);
+    let names = ["e0", "e1", "e2"];
+    g.bench_function("triangle_vanilla", |b| {
+        b.iter(|| count_cycles(&tag, &names, None, EngineConfig::default()).unwrap())
+    });
+    g.bench_function("triangle_theta_sqrt_in", |b| {
+        b.iter(|| count_cycles(&tag, &names, Some(77), EngineConfig::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn loading_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("loading");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let db = tpch::generate(0.02, 42);
+    g.bench_function("tag_build", |b| b.iter(|| TagGraph::build(&db)));
+    g.bench_function("row_indexes", |b| {
+        b.iter(|| {
+            db.relations()
+                .flat_map(vcsql_baseline::index::build_pk_fk_indexes)
+                .map(|i| i.distinct_keys())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("columnar_encode", |b| {
+        b.iter(|| vcsql_baseline::ColumnarDatabase::from_database(&db))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    tpch_benches,
+    tpcds_benches,
+    twoway_benches,
+    cycle_benches,
+    loading_benches
+);
+criterion_main!(benches);

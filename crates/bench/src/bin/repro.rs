@@ -1,0 +1,534 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! Usage: `cargo run --release -p vcsql-bench --bin repro -- <mode> [--sf a,b,c]`
+//!
+//! Modes (see DESIGN.md experiment index):
+//!   loading         Tables 1-2: data loading times
+//!   sizes           Fig 14 / Table 15: loaded data sizes
+//!   tpch            Fig 13(a) + Tables 8-10/14: TPC-H runtimes
+//!   tpcds           Fig 13(b) + Tables 11-13/14: TPC-DS runtimes
+//!   tpch-classes    Tables 3-4: LA/correlated speedups, GA/scalar runtimes
+//!   tpcds-matrix    Table 5: outperform/competitive/worse counts
+//!   tpcds-classes   Table 6: per-class speedups
+//!   agg-breakdown   Fig 15: runtimes grouped by aggregation class
+//!   memory          Table 7: working-set bytes per engine
+//!   distributed     Fig 16 + Tables 16-17: runtime + network traffic
+//!   cost-model      §4.1.2 ablation: two-way join messages vs bounds
+//!   triangle-theta  §6.1.2 ablation: heavy/light θ sweep
+//!   reshuffle       §5.2.2 ablation: reshuffle bytes vs join-chain length
+//!   all             everything above
+
+use std::collections::BTreeMap;
+use vcsql_bench::{markdown_table, ms, prepare, run_system, speedup, time, Loaded, System};
+use vcsql_bsp::EngineConfig;
+use vcsql_core::cyclic;
+use vcsql_core::twoway::{two_way_join, TwoWaySpec};
+use vcsql_dist::{tag_distributed, SparkModel};
+use vcsql_query::AggClass;
+use vcsql_relation::mem::human_bytes;
+use vcsql_relation::Database;
+use vcsql_tag::TagGraph;
+use vcsql_workload::{synthetic, tpcds, tpch, BenchQuery};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("all");
+    let sfs = args
+        .iter()
+        .position(|a| a == "--sf")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(|x| x.parse::<f64>().expect("bad --sf")).collect::<Vec<_>>())
+        .unwrap_or_else(|| vec![0.01, 0.02, 0.05]);
+
+    match mode {
+        "loading" => loading(&sfs),
+        "sizes" => sizes(&sfs),
+        "tpch" => runtimes("TPC-H", &sfs, tpch::generate, &tpch::queries()),
+        "tpcds" => runtimes("TPC-DS", &sfs, tpcds::generate, &tpcds::queries()),
+        "tpch-classes" => tpch_classes(sfs[sfs.len() - 1]),
+        "tpcds-matrix" => tpcds_matrix(sfs[sfs.len() - 1]),
+        "tpcds-classes" => tpcds_classes(sfs[sfs.len() - 1]),
+        "agg-breakdown" => agg_breakdown(sfs[sfs.len() - 1]),
+        "memory" => memory(sfs[sfs.len() - 1]),
+        "distributed" => distributed(sfs[sfs.len() - 1]),
+        "cost-model" => cost_model(),
+        "triangle-theta" => triangle_theta(),
+        "reshuffle" => reshuffle(sfs[sfs.len() - 1]),
+        "all" => {
+            loading(&sfs);
+            sizes(&sfs);
+            runtimes("TPC-H", &sfs, tpch::generate, &tpch::queries());
+            runtimes("TPC-DS", &sfs, tpcds::generate, &tpcds::queries());
+            tpch_classes(sfs[sfs.len() - 1]);
+            tpcds_matrix(sfs[sfs.len() - 1]);
+            tpcds_classes(sfs[sfs.len() - 1]);
+            agg_breakdown(sfs[sfs.len() - 1]);
+            memory(sfs[sfs.len() - 1]);
+            distributed(sfs[sfs.len() - 1]);
+            cost_model();
+            triangle_theta();
+            reshuffle(sfs[sfs.len() - 1]);
+        }
+        other => {
+            eprintln!("unknown mode `{other}`; see --help in the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+const SEED: u64 = 42;
+
+/// E1 — Tables 1-2: loading times.
+fn loading(sfs: &[f64]) {
+    println!("\n## E1 — Loading times (paper Tables 1-2), seconds\n");
+    for (name, genf) in [("TPC-H", tpch::generate as fn(f64, u64) -> Database), ("TPC-DS", tpcds::generate)] {
+        let mut rows = Vec::new();
+        for &sf in sfs {
+            let db = genf(sf, SEED);
+            let (_, gen_s) = time(|| genf(sf, SEED));
+            let (tag, tag_s) = time(|| TagGraph::build(&db));
+            let (_, row_s) = time(|| {
+                // Row store load: copy tuples + build PK/FK indexes (the TPC
+                // protocol's indexes).
+                let mut total = 0usize;
+                for rel in db.relations() {
+                    let copy = rel.clone();
+                    for idx in vcsql_baseline::index::build_pk_fk_indexes(&copy) {
+                        total += idx.distinct_keys();
+                    }
+                }
+                total
+            });
+            let (_, col_s) = time(|| vcsql_baseline::ColumnarDatabase::from_database(&db));
+            let _ = tag;
+            rows.push(vec![
+                format!("{sf}"),
+                format!("{}", db.total_tuples()),
+                format!("{gen_s:.3}"),
+                format!("{row_s:.3}"),
+                format!("{col_s:.3}"),
+                format!("{tag_s:.3}"),
+            ]);
+        }
+        println!("### {name}\n");
+        println!(
+            "{}",
+            markdown_table(
+                &["SF", "tuples", "generate", "row+index load", "columnar load", "TAG load"]
+                    .map(String::from),
+                &rows
+            )
+        );
+    }
+}
+
+/// E2 — Fig 14 / Table 15: loaded sizes.
+fn sizes(sfs: &[f64]) {
+    println!("\n## E2 — Loaded data sizes (paper Fig 14 / Table 15)\n");
+    for (name, genf) in [("TPC-H", tpch::generate as fn(f64, u64) -> Database), ("TPC-DS", tpcds::generate)] {
+        let mut rows = Vec::new();
+        for &sf in sfs {
+            let db = genf(sf, SEED);
+            let loaded = Loaded::new(genf(sf, SEED));
+            let index_bytes: usize = db
+                .relations()
+                .flat_map(vcsql_baseline::index::build_pk_fk_indexes)
+                .map(|i| i.deep_size())
+                .sum();
+            let stats = loaded.tag.stats();
+            rows.push(vec![
+                format!("{sf}"),
+                human_bytes(db.deep_size() + index_bytes),
+                human_bytes(loaded.columnar.deep_size()),
+                human_bytes(stats.bytes),
+                format!("{}", stats.tuple_vertices),
+                format!("{}", stats.attr_vertices),
+                format!("{}", stats.edges / 2),
+            ]);
+        }
+        println!("### {name}\n");
+        println!(
+            "{}",
+            markdown_table(
+                &["SF", "row store + indexes", "columnar (dict)", "TAG graph", "tuple-v", "attr-v", "edges"]
+                    .map(String::from),
+                &rows
+            )
+        );
+    }
+}
+
+/// E3/E4/E5/E6/E14 — per-query and aggregate runtimes across systems.
+fn runtimes(
+    name: &str,
+    sfs: &[f64],
+    genf: fn(f64, u64) -> Database,
+    queries: &[BenchQuery],
+) {
+    println!("\n## {name} runtimes (paper Fig 13, Tables 8-14), ms\n");
+    for &sf in sfs {
+        let loaded = Loaded::new(genf(sf, SEED));
+        let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
+        let mut rows = Vec::new();
+        for q in queries {
+            let a = prepare(&loaded, q.sql).expect("workload query analyzes");
+            let mut row = vec![q.id.to_string()];
+            for sys in System::ALL {
+                let (_, secs) = run_system(&loaded, sys, &a).expect("query runs");
+                *totals.entry(sys.name()).or_insert(0.0) += secs;
+                row.push(ms(secs));
+            }
+            rows.push(row);
+        }
+        rows.push(
+            std::iter::once(format!("**total (SF {sf})**"))
+                .chain(System::ALL.iter().map(|s| format!("**{}**", ms(totals[s.name()]))))
+                .collect(),
+        );
+        let mut headers = vec![format!("query @ SF {sf}")];
+        headers.extend(System::ALL.iter().map(|s| s.name().to_string()));
+        println!("{}", markdown_table(&headers, &rows));
+    }
+}
+
+/// E7/E8 — Tables 3-4: TPC-H class drill-down.
+fn tpch_classes(sf: f64) {
+    println!("\n## E7/E8 — TPC-H drill-down (paper Tables 3-4)\n");
+    let loaded = Loaded::new(tpch::generate(sf, SEED));
+    let mut la_rows = Vec::new();
+    let mut ga_rows = Vec::new();
+    for q in tpch::queries() {
+        let a = prepare(&loaded, q.sql).expect("analyzes");
+        let mut secs = BTreeMap::new();
+        for sys in System::ALL {
+            let (_, s) = run_system(&loaded, sys, &a).expect("runs");
+            secs.insert(sys.name(), s);
+        }
+        let tag = secs["tag_join"];
+        if q.class == AggClass::Local || q.correlated {
+            la_rows.push(vec![
+                q.id.to_string(),
+                if q.correlated { "corr".into() } else { "LA".into() },
+                ms(tag),
+                speedup(tag, secs["row_hash"]),
+                speedup(tag, secs["row_merge"]),
+                speedup(tag, secs["columnar_im"]),
+            ]);
+        } else {
+            ga_rows.push(vec![
+                q.id.to_string(),
+                format!("{:?}", q.class),
+                ms(tag),
+                ms(secs["row_hash"]),
+                ms(secs["row_merge"]),
+                ms(secs["columnar_im"]),
+            ]);
+        }
+    }
+    println!("### Table 3 shape: LA / correlated queries — TAG-join time and speedups\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["query", "class", "tag_join ms", "vs row_hash", "vs row_merge", "vs columnar_im"]
+                .map(String::from),
+            &la_rows
+        )
+    );
+    println!("### Table 4 shape: GA / scalar queries — absolute times (ms)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["query", "class", "tag_join", "row_hash", "row_merge", "columnar_im"]
+                .map(String::from),
+            &ga_rows
+        )
+    );
+}
+
+/// E9 — Table 5: win/competitive/lose counts.
+fn tpcds_matrix(sf: f64) {
+    println!("\n## E9 — TPC-DS outcome matrix (paper Table 5)\n");
+    let loaded = Loaded::new(tpcds::generate(sf, SEED));
+    let queries = tpcds::queries();
+    let mut counts: BTreeMap<&str, (u32, u32, u32)> = BTreeMap::new();
+    for q in &queries {
+        let a = prepare(&loaded, q.sql).expect("analyzes");
+        let (_, tag) = run_system(&loaded, System::TagJoin, &a).expect("runs");
+        for sys in [System::RowHash, System::RowSortMerge, System::Columnar] {
+            let (_, other) = run_system(&loaded, sys, &a).expect("runs");
+            let e = counts.entry(sys.name()).or_insert((0, 0, 0));
+            if other > tag * 1.2 {
+                e.0 += 1; // outperforms
+            } else if tag > other * 1.2 {
+                e.2 += 1; // worse
+            } else {
+                e.1 += 1; // competitive
+            }
+        }
+    }
+    let rows: Vec<Vec<String>> = counts
+        .iter()
+        .map(|(s, (w, c, l))| vec![s.to_string(), w.to_string(), c.to_string(), l.to_string()])
+        .collect();
+    println!("total queries: {}\n", queries.len());
+    println!(
+        "{}",
+        markdown_table(
+            &["vs system", "outperforms", "competitive", "worse"].map(String::from),
+            &rows
+        )
+    );
+}
+
+/// E10 — Table 6: per-class TPC-DS speedups.
+fn tpcds_classes(sf: f64) {
+    println!("\n## E10 — TPC-DS per-class speedups (paper Table 6)\n");
+    let loaded = Loaded::new(tpcds::generate(sf, SEED));
+    let mut rows = Vec::new();
+    for q in tpcds::queries() {
+        let a = prepare(&loaded, q.sql).expect("analyzes");
+        let mut secs = BTreeMap::new();
+        for sys in System::ALL {
+            let (_, s) = run_system(&loaded, sys, &a).expect("runs");
+            secs.insert(sys.name(), s);
+        }
+        let tag = secs["tag_join"];
+        rows.push(vec![
+            q.id.to_string(),
+            format!("{:?}", q.class),
+            ms(tag),
+            speedup(tag, secs["row_hash"]),
+            speedup(tag, secs["row_merge"]),
+            speedup(tag, secs["columnar_im"]),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["query", "class", "tag_join ms", "vs row_hash", "vs row_merge", "vs columnar_im"]
+                .map(String::from),
+            &rows
+        )
+    );
+}
+
+/// E11 — Fig 15: aggregate runtime by aggregation class.
+fn agg_breakdown(sf: f64) {
+    println!("\n## E11 — TPC-DS aggregate runtime by aggregation class (paper Fig 15), ms\n");
+    let loaded = Loaded::new(tpcds::generate(sf, SEED));
+    let mut per_class: BTreeMap<String, BTreeMap<&str, f64>> = BTreeMap::new();
+    for q in tpcds::queries() {
+        let a = prepare(&loaded, q.sql).expect("analyzes");
+        for sys in System::ALL {
+            let (_, s) = run_system(&loaded, sys, &a).expect("runs");
+            *per_class
+                .entry(format!("{:?}", q.class))
+                .or_default()
+                .entry(sys.name())
+                .or_insert(0.0) += s;
+        }
+    }
+    let rows: Vec<Vec<String>> = per_class
+        .iter()
+        .map(|(class, m)| {
+            std::iter::once(class.clone())
+                .chain(System::ALL.iter().map(|s| ms(m[s.name()])))
+                .collect()
+        })
+        .collect();
+    let mut headers = vec!["class".to_string()];
+    headers.extend(System::ALL.iter().map(|s| s.name().to_string()));
+    println!("{}", markdown_table(&headers, &rows));
+}
+
+/// E12 — Table 7: working-set bytes.
+fn memory(sf: f64) {
+    println!("\n## E12 — Working-set bytes during execution (paper Table 7)\n");
+    for (name, genf) in [("TPC-H", tpch::generate as fn(f64, u64) -> Database), ("TPC-DS", tpcds::generate)] {
+        let db = genf(sf, SEED);
+        let loaded = Loaded::new(genf(sf, SEED));
+        let index_bytes: usize = db
+            .relations()
+            .flat_map(vcsql_baseline::index::build_pk_fk_indexes)
+            .map(|i| i.deep_size())
+            .sum();
+        let rows = vec![
+            vec!["row store (+indexes)".into(), human_bytes(db.deep_size() + index_bytes)],
+            vec!["columnar (dictionary)".into(), human_bytes(loaded.columnar.deep_size())],
+            vec!["TAG graph (+payloads)".into(), human_bytes(loaded.tag.stats().bytes)],
+        ];
+        println!("### {name} @ SF {sf}\n");
+        println!("{}", markdown_table(&["engine", "resident bytes"].map(String::from), &rows));
+    }
+}
+
+/// E13 — Fig 16 + Tables 16-17: distributed runtime model + network bytes.
+fn distributed(sf: f64) {
+    println!("\n## E13 — Distributed cluster simulation, 6 machines (paper Fig 16)\n");
+    for (name, genf, queries) in [
+        ("TPC-H", tpch::generate as fn(f64, u64) -> Database, tpch::queries()),
+        ("TPC-DS", tpcds::generate, tpcds::queries()),
+    ] {
+        let db = genf(sf, SEED);
+        let tag = TagGraph::build(&db);
+        let spark = SparkModel::default();
+        let mut rows = Vec::new();
+        let (mut tag_total, mut spark_total) = (0u64, 0u64);
+        let (mut tag_time, mut spark_time) = (0.0f64, 0.0f64);
+        for q in &queries {
+            let a = vcsql_query::analyze::analyze(
+                &vcsql_query::parse(q.sql).unwrap(),
+                tag.schemas(),
+            )
+            .expect("analyzes");
+            let ((out, net), secs) =
+                time(|| tag_distributed(&tag, &a, spark.machines, EngineConfig::default()).unwrap());
+            let _ = out;
+            let (spark_net, spark_secs) = time(|| spark.run(&a, &db).unwrap());
+            let (spark_net, _) = (spark_net, ());
+            tag_total += net.network_bytes;
+            spark_total += spark_net.network_bytes;
+            // Modelled runtime: measured local work + network at 1 GB/s.
+            tag_time += vcsql_dist::modelled_runtime(secs, &net, 1e9);
+            spark_time += vcsql_dist::modelled_runtime(spark_secs, &spark_net, 1e9);
+            rows.push(vec![
+                q.id.to_string(),
+                human_bytes(net.network_bytes as usize),
+                human_bytes(spark_net.network_bytes as usize),
+            ]);
+        }
+        rows.push(vec![
+            "**total**".into(),
+            format!("**{}**", human_bytes(tag_total as usize)),
+            format!("**{}**", human_bytes(spark_total as usize)),
+        ]);
+        println!("### {name} @ SF {sf} — network traffic per query\n");
+        println!(
+            "{}",
+            markdown_table(
+                &["query", "tag_join net", "spark_model net"].map(String::from),
+                &rows
+            )
+        );
+        println!(
+            "aggregate modelled runtime: tag_join {:.3}s vs spark_model {:.3}s; \
+             traffic ratio spark/tag = {:.1}x\n",
+            tag_time,
+            spark_time,
+            spark_total as f64 / tag_total.max(1) as f64
+        );
+    }
+}
+
+/// A1 — §4.1.2: two-way join communication vs the min(IN, OUT) bound.
+fn cost_model() {
+    println!("\n## A1 — Two-way join communication vs analytic bounds (paper §4.1.2)\n");
+    let mut rows = Vec::new();
+    for b_domain in [10i64, 100, 1000, 10_000] {
+        let db = synthetic::two_way_db(2000, b_domain, SEED);
+        let tag = TagGraph::build(&db);
+        let spec = TwoWaySpec {
+            left: "r",
+            right: "s",
+            on: vec![("b", "b")],
+            left_out: vec!["a"],
+            right_out: vec!["c"],
+        };
+        let res = two_way_join(&tag, EngineConfig::default(), &spec).unwrap();
+        let in_size = 4000u64;
+        let out_size = res.output_size() as u64;
+        rows.push(vec![
+            b_domain.to_string(),
+            in_size.to_string(),
+            out_size.to_string(),
+            res.stats.total_messages().to_string(),
+            (2 * in_size.min(out_size.max(1))).to_string(),
+            format!("{}", res.stats.total_messages() <= 2 * in_size),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["|B| domain", "IN", "OUT", "messages", "2*min(IN,OUT)", "msgs <= 2*IN"]
+                .map(String::from),
+            &rows
+        )
+    );
+}
+
+/// A2 — §6.1.2: triangle θ sweep.
+fn triangle_theta() {
+    println!("\n## A2 — Triangle heavy/light θ sweep (paper §6.1.2)\n");
+    let db = synthetic::cycle_db(3, 3000, 400, SEED);
+    let tag = TagGraph::build(&db);
+    let names = ["e0", "e1", "e2"];
+    let in_size = 3.0 * 3000.0f64;
+    let mut rows = Vec::new();
+    let (vanilla_count, vanilla_stats) =
+        cyclic::count_cycles(&tag, &names, None, EngineConfig::default()).unwrap();
+    rows.push(vec![
+        "vanilla".into(),
+        vanilla_count.to_string(),
+        vanilla_stats.total_messages().to_string(),
+    ]);
+    for theta in [1usize, 8, 32, 95, 256, 1024] {
+        let (count, stats) =
+            cyclic::count_cycles(&tag, &names, Some(theta), EngineConfig::default()).unwrap();
+        assert_eq!(count, vanilla_count, "θ={theta} changed the result");
+        let label =
+            if theta == 95 { format!("θ={theta} (≈√IN={:.0})", in_size.sqrt()) } else { format!("θ={theta}") };
+        rows.push(vec![label, count.to_string(), stats.total_messages().to_string()]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["variant", "triangles", "messages"].map(String::from), &rows)
+    );
+}
+
+/// A4 — §5.2.2: no-reshuffle property vs join chain length.
+fn reshuffle(sf: f64) {
+    println!("\n## A4 — Reshuffle bytes vs join-chain length (paper §5.2.2)\n");
+    let db = tpch::generate(sf, SEED);
+    let tag = TagGraph::build(&db);
+    let chains = [
+        ("2-way", "SELECT c.c_name FROM customer c, orders o WHERE c.c_custkey = o.o_custkey"),
+        (
+            "3-way",
+            "SELECT c.c_name FROM customer c, orders o, lineitem l \
+             WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey",
+        ),
+        (
+            "4-way",
+            "SELECT c.c_name FROM nation n, customer c, orders o, lineitem l \
+             WHERE n.n_nationkey = c.c_nationkey AND c.c_custkey = o.o_custkey \
+             AND o.o_orderkey = l.l_orderkey",
+        ),
+        (
+            "5-way",
+            "SELECT c.c_name FROM region r, nation n, customer c, orders o, lineitem l \
+             WHERE r.r_regionkey = n.n_regionkey AND n.n_nationkey = c.c_nationkey \
+             AND c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey",
+        ),
+    ];
+    let spark = SparkModel { machines: 6, broadcast_threshold: 0 };
+    let mut rows = Vec::new();
+    for (label, sql) in chains {
+        let a = vcsql_query::analyze::analyze(&vcsql_query::parse(sql).unwrap(), tag.schemas())
+            .unwrap();
+        let (_, net) = tag_distributed(&tag, &a, 6, EngineConfig::default()).unwrap();
+        let shuffle = spark.run(&a, &db).unwrap();
+        rows.push(vec![
+            label.to_string(),
+            human_bytes(net.network_bytes as usize),
+            human_bytes(shuffle.network_bytes as usize),
+            format!("{:.1}x", shuffle.network_bytes as f64 / net.network_bytes.max(1) as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["chain", "tag_join net", "shuffle-join net", "ratio"].map(String::from),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,561 @@
+//! The superstep execution engine.
+//!
+//! A [`Computation`] owns per-vertex user state and message inboxes over an
+//! immutable [`Graph`]. Each call to [`Computation::superstep`] performs one
+//! BSP superstep:
+//!
+//! 1. **compute** — the user closure runs for every *active* vertex, in
+//!    parallel over worker threads. It sees the vertex's state, its incoming
+//!    messages from the previous superstep, and its out-edges; it may send
+//!    messages to any vertex id it knows (its neighbours, or ids learned from
+//!    messages — the Pregel rule).
+//! 2. **barrier + delivery** — all outgoing messages are delivered into the
+//!    target inboxes.
+//! 3. **activation** — exactly the vertices that received at least one
+//!    message are active in the next superstep.
+//!
+//! Parallelism layout: the sorted active list is split into contiguous chunks,
+//! one per worker. Each worker writes only to the states/inboxes of its own
+//! vertices during compute, and delivery is sharded by `target % shards`, so
+//! workers always touch disjoint slots; the `SharedMut` wrapper below
+//! documents and encapsulates that invariant. Message delivery concatenates
+//! worker outboxes in worker order, which equals source-vertex order — so
+//! inbox contents are deterministic and independent of the thread count.
+
+use crate::graph::{Edge, Graph, VertexId};
+use crate::interner::LabelId;
+use crate::partition::Partitioning;
+use crate::program::{Aggregator, Message};
+use crate::stats::{RunStats, StepStats};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads (also the number of delivery shards).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        EngineConfig { threads: threads.min(16) }
+    }
+}
+
+impl EngineConfig {
+    /// Single-threaded configuration (useful for deterministic debugging).
+    pub fn sequential() -> EngineConfig {
+        EngineConfig { threads: 1 }
+    }
+
+    /// Configuration with an explicit thread count.
+    pub fn with_threads(threads: usize) -> EngineConfig {
+        EngineConfig { threads: threads.max(1) }
+    }
+}
+
+/// Per-vertex view handed to the compute closure for one superstep.
+pub struct VertexCtx<'a, 'p, V, M: Message> {
+    vid: VertexId,
+    graph: &'a Graph,
+    /// The vertex's mutable user state.
+    pub state: &'a mut V,
+    msgs: &'a [M],
+    out: &'a mut Outbox<'p, M>,
+}
+
+impl<'a, 'p, V, M: Message> VertexCtx<'a, 'p, V, M> {
+    /// This vertex's id.
+    #[inline]
+    pub fn id(&self) -> VertexId {
+        self.vid
+    }
+
+    /// This vertex's label.
+    #[inline]
+    pub fn label(&self) -> LabelId {
+        self.graph.label_of(self.vid)
+    }
+
+    /// Messages received from the previous superstep.
+    #[inline]
+    pub fn messages(&self) -> &'a [M] {
+        self.msgs
+    }
+
+    /// All out-edges.
+    #[inline]
+    pub fn edges(&self) -> &'a [Edge] {
+        self.graph.out_edges(self.vid)
+    }
+
+    /// Out-edges with a specific label.
+    #[inline]
+    pub fn edges_with(&self, label: LabelId) -> &'a [Edge] {
+        self.graph.out_edges_with_label(self.vid, label)
+    }
+
+    /// Out-degree restricted to a label.
+    #[inline]
+    pub fn degree_with(&self, label: LabelId) -> usize {
+        self.graph.degree_with_label(self.vid, label)
+    }
+
+    /// The underlying graph (read-only).
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Send a message to any vertex. Delivered at the next superstep.
+    #[inline]
+    pub fn send(&mut self, target: VertexId, msg: M) {
+        self.out.send(self.vid, target, msg);
+    }
+}
+
+/// Per-worker outgoing message buffer, sharded by target for lock-free
+/// delivery.
+pub struct Outbox<'p, M: Message> {
+    shards: Vec<Vec<(VertexId, M)>>,
+    partitioning: Option<&'p Partitioning>,
+    messages: u64,
+    bytes: u64,
+    network_messages: u64,
+    network_bytes: u64,
+}
+
+impl<'p, M: Message> Outbox<'p, M> {
+    fn new(shards: usize, partitioning: Option<&'p Partitioning>) -> Outbox<'p, M> {
+        Outbox {
+            shards: (0..shards).map(|_| Vec::new()).collect(),
+            partitioning,
+            messages: 0,
+            bytes: 0,
+            network_messages: 0,
+            network_bytes: 0,
+        }
+    }
+
+    #[inline]
+    fn send(&mut self, source: VertexId, target: VertexId, msg: M) {
+        let size = msg.byte_size() as u64;
+        self.messages += 1;
+        self.bytes += size;
+        if let Some(p) = self.partitioning {
+            if p.crosses(source, target) {
+                self.network_messages += 1;
+                self.network_bytes += size;
+            }
+        }
+        let shard = target as usize % self.shards.len();
+        self.shards[shard].push((target, msg));
+    }
+}
+
+/// Pointer wrapper allowing disjoint `&mut` access to a slice from several
+/// workers.
+///
+/// # Safety invariant
+/// Every index is written by at most one worker per phase: compute workers own
+/// the vertices of their chunk of the (deduplicated) active list; delivery
+/// workers own the inboxes of `target % shards == shard`.
+struct SharedMut<T>(*mut T);
+unsafe impl<T: Send> Send for SharedMut<T> {}
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    /// # Safety
+    /// Caller must uphold the disjoint-index invariant described on the type.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn get(&self, index: usize) -> &mut T {
+        &mut *self.0.add(index)
+    }
+}
+
+/// A running vertex-centric computation: graph + states + inboxes + active
+/// set + statistics.
+pub struct Computation<'g, V, M: Message> {
+    graph: &'g Graph,
+    config: EngineConfig,
+    states: Vec<V>,
+    inboxes: Vec<Vec<M>>,
+    active: Vec<VertexId>,
+    stats: RunStats,
+    partitioning: Option<Partitioning>,
+}
+
+impl<'g, V: Send, M: Message> Computation<'g, V, M> {
+    /// Create a computation with per-vertex state produced by `init`.
+    pub fn new(graph: &'g Graph, config: EngineConfig, init: impl Fn(VertexId) -> V) -> Self {
+        let n = graph.vertex_count();
+        Computation {
+            graph,
+            config,
+            states: (0..n as VertexId).map(init).collect(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            active: Vec::new(),
+            stats: RunStats::default(),
+            partitioning: None,
+        }
+    }
+
+    /// Attach a machine partitioning: subsequent supersteps will count
+    /// cross-machine traffic in their [`StepStats`].
+    pub fn set_partitioning(&mut self, p: Partitioning) {
+        self.partitioning = Some(p);
+    }
+
+    /// The graph being computed over.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Replace the active set (deduplicated and sorted).
+    pub fn activate(&mut self, vertices: impl IntoIterator<Item = VertexId>) {
+        self.active = vertices.into_iter().collect();
+        self.active.sort_unstable();
+        self.active.dedup();
+    }
+
+    /// Activate all vertices with the given vertex label.
+    pub fn activate_label(&mut self, label: LabelId) {
+        self.activate(self.graph.vertices_with_label(label).to_vec());
+    }
+
+    /// Inject a message into a vertex's inbox and activate it (host-side
+    /// seeding; not counted as engine communication).
+    pub fn inject(&mut self, target: VertexId, msg: M) {
+        self.inboxes[target as usize].push(msg);
+        if !self.active.contains(&target) {
+            self.active.push(target);
+            self.active.sort_unstable();
+        }
+    }
+
+    /// Currently active vertices (sorted).
+    pub fn active(&self) -> &[VertexId] {
+        &self.active
+    }
+
+    /// True iff no vertex is active (the computation has converged).
+    pub fn halted(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Read a vertex's state.
+    pub fn state(&self, v: VertexId) -> &V {
+        &self.states[v as usize]
+    }
+
+    /// Mutate a vertex's state from the host (between supersteps).
+    pub fn state_mut(&mut self, v: VertexId) -> &mut V {
+        &mut self.states[v as usize]
+    }
+
+    /// All vertex states, indexed by vertex id.
+    pub fn states(&self) -> &[V] {
+        &self.states
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Consume the computation, returning states and statistics.
+    pub fn finish(self) -> (Vec<V>, RunStats) {
+        (self.states, self.stats)
+    }
+
+    /// Approximate inbox working-set size in bytes (user states excluded —
+    /// callers size those with knowledge of `V`).
+    pub fn inbox_bytes(&self) -> usize {
+        self.inboxes
+            .iter()
+            .map(|b| {
+                b.iter().map(|m| m.byte_size()).sum::<usize>()
+                    + b.capacity() * std::mem::size_of::<M>()
+            })
+            .sum()
+    }
+
+    /// Run one superstep with a global aggregator.
+    ///
+    /// `compute` runs once per active vertex and may fold into its worker's
+    /// local aggregate; worker aggregates are merged (in worker order) into
+    /// the returned value. This is the engine-level realization of the
+    /// paper's aggregation vertex: a value every vertex can contribute to,
+    /// visible to the host (and passable back into the next superstep).
+    pub fn superstep<G, F>(&mut self, compute: F) -> (StepStats, G)
+    where
+        G: Aggregator,
+        F: for<'x, 'y> Fn(&mut VertexCtx<'x, 'y, V, M>, &mut G) + Sync,
+    {
+        let shards = self.config.threads;
+        let active = std::mem::take(&mut self.active);
+        let workers = self.config.threads.min(active.len()).max(1);
+        let chunk = active.len().div_ceil(workers).max(1);
+
+        let states = SharedMut(self.states.as_mut_ptr());
+        let inboxes = SharedMut(self.inboxes.as_mut_ptr());
+        let graph = self.graph;
+        let partitioning = self.partitioning.as_ref();
+
+        // --- compute phase -------------------------------------------------
+        let mut results: Vec<(Outbox<'_, M>, G)> = Vec::with_capacity(workers);
+        if active.is_empty() {
+            // Nothing to run, but the superstep is still recorded so the
+            // count matches the driver's step sequence.
+        } else if workers == 1 {
+            let mut out = Outbox::new(shards, partitioning);
+            let mut agg = G::default();
+            for &v in &active {
+                // SAFETY: single worker — trivially disjoint.
+                let state = unsafe { states.get(v as usize) };
+                let inbox = unsafe { inboxes.get(v as usize) };
+                let mut ctx =
+                    VertexCtx { vid: v, graph, state, msgs: inbox.as_slice(), out: &mut out };
+                compute(&mut ctx, &mut agg);
+                inbox.clear();
+            }
+            results.push((out, agg));
+        } else {
+            let compute_ref = &compute;
+            let active_ref = &active;
+            let states_ref = &states;
+            let inboxes_ref = &inboxes;
+            results = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let lo = (w * chunk).min(active_ref.len());
+                    let hi = ((w + 1) * chunk).min(active_ref.len());
+                    handles.push(scope.spawn(move || {
+                        let mut out = Outbox::new(shards, partitioning);
+                        let mut agg = G::default();
+                        for &v in &active_ref[lo..hi] {
+                            // SAFETY: the active list is deduplicated and
+                            // workers take disjoint chunks, so each vertex's
+                            // state and inbox is touched by one worker only.
+                            let state = unsafe { states_ref.get(v as usize) };
+                            let inbox = unsafe { inboxes_ref.get(v as usize) };
+                            let mut ctx = VertexCtx {
+                                vid: v,
+                                graph,
+                                state,
+                                msgs: inbox.as_slice(),
+                                out: &mut out,
+                            };
+                            compute_ref(&mut ctx, &mut agg);
+                            inbox.clear();
+                        }
+                        (out, agg)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+        }
+
+        // --- merge aggregates and counters ----------------------------------
+        let mut step = StepStats { active_vertices: active.len() as u64, ..Default::default() };
+        let mut global = G::default();
+        let mut worker_shards: Vec<Vec<Vec<(VertexId, M)>>> = Vec::with_capacity(results.len());
+        for (out, agg) in results {
+            step.messages += out.messages;
+            step.message_bytes += out.bytes;
+            step.network_messages += out.network_messages;
+            step.network_bytes += out.network_bytes;
+            global.merge(agg);
+            worker_shards.push(out.shards);
+        }
+
+        // --- delivery phase ---------------------------------------------------
+        // Shard `s` owns inboxes of vertices with `v % shards == s`; shards
+        // run in parallel, and within a shard worker outboxes are drained in
+        // worker order, which preserves global source order.
+        let mut newly_active: Vec<Vec<VertexId>> = Vec::new();
+        if step.messages > 0 {
+            let inboxes_ref = &inboxes;
+            let worker_shards_ref = &worker_shards;
+            newly_active = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(shards);
+                for s in 0..shards {
+                    handles.push(scope.spawn(move || {
+                        let mut woken = Vec::new();
+                        for per_worker in worker_shards_ref {
+                            for (v, m) in &per_worker[s] {
+                                // SAFETY: v % shards == s by construction of
+                                // Outbox::send, so only this shard's worker
+                                // touches inboxes[v].
+                                let inbox = unsafe { inboxes_ref.get(*v as usize) };
+                                if inbox.is_empty() {
+                                    woken.push(*v);
+                                }
+                                inbox.push(m.clone());
+                            }
+                        }
+                        woken
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("delivery panicked")).collect()
+            });
+        }
+
+        let mut next: Vec<VertexId> = newly_active.into_iter().flatten().collect();
+        next.sort_unstable();
+        self.active = next;
+        self.stats.record(step);
+        (step, global)
+    }
+
+    /// Run one superstep without a global aggregator.
+    pub fn superstep_simple<F>(&mut self, compute: F) -> StepStats
+    where
+        F: for<'x, 'y> Fn(&mut VertexCtx<'x, 'y, V, M>) + Sync,
+    {
+        self.superstep::<(), _>(|ctx, _| compute(ctx)).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// A line graph 0 - 1 - 2 - ... - (n-1) with one edge label.
+    fn line(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vl = b.vertex_label("v");
+        let el = b.edge_label("next");
+        for _ in 0..n {
+            b.add_vertex(vl);
+        }
+        for i in 0..n - 1 {
+            b.add_undirected_edge(i as VertexId, (i + 1) as VertexId, el);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn wave_propagates_and_halts() {
+        let g = line(5);
+        // Each vertex stores the wave value; vertex 0 starts a wave that
+        // increments as it travels right.
+        let mut comp: Computation<'_, u64, u64> =
+            Computation::new(&g, EngineConfig::sequential(), |_| 0);
+        comp.activate([0]);
+        let mut step = 0u64;
+        while !comp.halted() {
+            comp.superstep_simple(|ctx| {
+                let incoming = ctx.messages().iter().copied().max().unwrap_or(0);
+                *ctx.state = incoming;
+                let next = ctx.id() + 1;
+                if (next as usize) < ctx.graph().vertex_count() {
+                    ctx.send(next, incoming + 1);
+                }
+            });
+            step += 1;
+            assert!(step < 20, "did not halt");
+        }
+        let (states, stats) = comp.finish();
+        assert_eq!(states, vec![0, 1, 2, 3, 4]);
+        // Vertices 0..4 each send one forwarding message; vertex 4 has no
+        // right neighbour. 5 supersteps total (the last sends nothing).
+        assert_eq!(stats.total_messages(), 4);
+        assert_eq!(stats.supersteps, 5);
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let g = line(64);
+        let run = |threads: usize| {
+            let mut comp: Computation<'_, u64, u64> =
+                Computation::new(&g, EngineConfig::with_threads(threads), |_| 0);
+            comp.activate(g.vertices());
+            // Superstep 1: everyone sends its id to all neighbours.
+            // Superstep 2: everyone sums what it received.
+            comp.superstep_simple(|ctx| {
+                let targets: Vec<VertexId> = ctx.edges().iter().map(|e| e.target).collect();
+                for t in targets {
+                    let id = ctx.id() as u64;
+                    ctx.send(t, id);
+                }
+            });
+            comp.superstep_simple(|ctx| {
+                *ctx.state = ctx.messages().iter().sum();
+            });
+            let (states, stats) = comp.finish();
+            (states, stats.total_messages())
+        };
+        let (s1, m1) = run(1);
+        let (s4, m4) = run(4);
+        let (s7, m7) = run(7);
+        assert_eq!(s1, s4);
+        assert_eq!(s1, s7);
+        assert_eq!(m1, m4);
+        assert_eq!(m1, m7);
+    }
+
+    #[test]
+    fn aggregator_merges_across_workers() {
+        #[derive(Default)]
+        struct Sum(u64);
+        impl Aggregator for Sum {
+            fn merge(&mut self, other: Self) {
+                self.0 += other.0;
+            }
+        }
+        let g = line(100);
+        let mut comp: Computation<'_, (), u64> =
+            Computation::new(&g, EngineConfig::with_threads(4), |_| ());
+        comp.activate(g.vertices());
+        let (_, total) = comp.superstep(|ctx, agg: &mut Sum| {
+            agg.0 += ctx.id() as u64;
+        });
+        assert_eq!(total.0, (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn network_accounting_counts_only_crossings() {
+        let g = line(4);
+        let mut comp: Computation<'_, (), u64> =
+            Computation::new(&g, EngineConfig::sequential(), |_| ());
+        // machines: [0,0,1,1] — only the 1-2 edge crosses.
+        comp.set_partitioning(Partitioning::from_assignment(vec![0, 0, 1, 1], 2));
+        comp.activate(g.vertices());
+        let stats = comp.superstep_simple(|ctx| {
+            let targets: Vec<VertexId> = ctx.edges().iter().map(|e| e.target).collect();
+            for t in targets {
+                ctx.send(t, 7);
+            }
+        });
+        assert_eq!(stats.messages, 6); // 2*(n-1) directed sends
+        assert_eq!(stats.network_messages, 2); // 1→2 and 2→1
+        assert_eq!(stats.network_bytes, 2 * std::mem::size_of::<u64>() as u64);
+    }
+
+    #[test]
+    fn inject_seeds_messages_without_counting() {
+        let g = line(3);
+        let mut comp: Computation<'_, u64, u64> =
+            Computation::new(&g, EngineConfig::sequential(), |_| 0);
+        comp.inject(1, 42);
+        assert_eq!(comp.active(), &[1]);
+        comp.superstep_simple(|ctx| {
+            *ctx.state = ctx.messages()[0];
+        });
+        assert_eq!(*comp.state(1), 42);
+        assert_eq!(comp.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn empty_superstep_is_recorded() {
+        let g = line(2);
+        let mut comp: Computation<'_, (), u64> =
+            Computation::new(&g, EngineConfig::sequential(), |_| ());
+        let stats = comp.superstep_simple(|_| {});
+        assert_eq!(stats.active_vertices, 0);
+        assert_eq!(comp.stats().supersteps, 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! The immutable, labelled graph the engine computes over.
+//!
+//! Vertices carry a label (e.g. the relation name for tuple vertices, the
+//! type name for attribute vertices). Edges carry a label (`R.A` in TAG
+//! graphs) and are stored in CSR form, grouped per source vertex and sorted
+//! by label so per-label scans (`out_edges_with_label`) are contiguous.
+//!
+//! The paper models TAG edges as undirected (footnote 3): an undirected edge
+//! is two directed edges, one per endpoint, added by
+//! [`GraphBuilder::add_undirected_edge`].
+
+use crate::interner::{Interner, LabelId};
+
+/// Vertex identifier — dense, starting at zero.
+pub type VertexId = u32;
+
+/// A directed, labelled edge (source implied by CSR position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub label: LabelId,
+    pub target: VertexId,
+}
+
+/// Mutable graph under construction; finalize with [`GraphBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    vertex_labels: Interner,
+    edge_labels: Interner,
+    vlabel_of: Vec<LabelId>,
+    adjacency: Vec<Vec<Edge>>,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder::default()
+    }
+
+    /// Intern a vertex label without creating a vertex.
+    pub fn vertex_label(&mut self, name: &str) -> LabelId {
+        self.vertex_labels.intern(name)
+    }
+
+    /// Intern an edge label without creating an edge.
+    pub fn edge_label(&mut self, name: &str) -> LabelId {
+        self.edge_labels.intern(name)
+    }
+
+    /// Add a vertex with the given label, returning its id.
+    pub fn add_vertex(&mut self, label: LabelId) -> VertexId {
+        let id = self.vlabel_of.len() as VertexId;
+        self.vlabel_of.push(label);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Add a directed edge.
+    pub fn add_edge(&mut self, source: VertexId, target: VertexId, label: LabelId) {
+        self.adjacency[source as usize].push(Edge { label, target });
+    }
+
+    /// Add an undirected edge (two directed edges with the same label).
+    pub fn add_undirected_edge(&mut self, a: VertexId, b: VertexId, label: LabelId) {
+        self.add_edge(a, b, label);
+        self.add_edge(b, a, label);
+    }
+
+    /// Current number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vlabel_of.len()
+    }
+
+    /// Freeze into a CSR [`Graph`].
+    pub fn finish(self) -> Graph {
+        let n = self.vlabel_of.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(self.adjacency.iter().map(Vec::len).sum());
+        offsets.push(0u64);
+        for mut adj in self.adjacency {
+            // Sort by label (then target) so per-label ranges are contiguous
+            // and iteration order is deterministic.
+            adj.sort_unstable_by_key(|e| (e.label, e.target));
+            edges.extend_from_slice(&adj);
+            offsets.push(edges.len() as u64);
+        }
+        // Per-vertex-label vertex lists, for `activate_label`-style seeding.
+        let mut by_label: Vec<Vec<VertexId>> = vec![Vec::new(); self.vertex_labels.len()];
+        for (v, l) in self.vlabel_of.iter().enumerate() {
+            by_label[l.0 as usize].push(v as VertexId);
+        }
+        Graph {
+            vertex_labels: self.vertex_labels,
+            edge_labels: self.edge_labels,
+            vlabel_of: self.vlabel_of,
+            offsets,
+            edges,
+            vertices_by_label: by_label,
+        }
+    }
+}
+
+/// An immutable labelled graph in CSR form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    vertex_labels: Interner,
+    edge_labels: Interner,
+    vlabel_of: Vec<LabelId>,
+    offsets: Vec<u64>,
+    edges: Vec<Edge>,
+    vertices_by_label: Vec<Vec<VertexId>>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vlabel_of.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The label of a vertex.
+    #[inline]
+    pub fn label_of(&self, v: VertexId) -> LabelId {
+        self.vlabel_of[v as usize]
+    }
+
+    /// All out-edges of a vertex (sorted by label).
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> &[Edge] {
+        let (lo, hi) = (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize);
+        &self.edges[lo..hi]
+    }
+
+    /// Out-edges of `v` carrying `label` (a contiguous subslice thanks to the
+    /// per-vertex label sort).
+    pub fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Edge] {
+        let all = self.out_edges(v);
+        let start = all.partition_point(|e| e.label < label);
+        let end = all[start..].partition_point(|e| e.label == label) + start;
+        &all[start..end]
+    }
+
+    /// Out-degree.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// Out-degree restricted to one edge label. For a TAG attribute vertex
+    /// and label `R.A` this is exactly `|σ_{A=a} R|` — the quantity the
+    /// heavy/light split of Section 6.1.2 tests against θ.
+    pub fn degree_with_label(&self, v: VertexId, label: LabelId) -> usize {
+        self.out_edges_with_label(v, label).len()
+    }
+
+    /// Resolve a vertex label name.
+    pub fn vertex_label_id(&self, name: &str) -> Option<LabelId> {
+        self.vertex_labels.get(name)
+    }
+
+    /// Resolve an edge label name.
+    pub fn edge_label_id(&self, name: &str) -> Option<LabelId> {
+        self.edge_labels.get(name)
+    }
+
+    /// Name of a vertex label.
+    pub fn vertex_label_name(&self, id: LabelId) -> &str {
+        self.vertex_labels.name(id)
+    }
+
+    /// Name of an edge label.
+    pub fn edge_label_name(&self, id: LabelId) -> &str {
+        self.edge_labels.name(id)
+    }
+
+    /// All vertices carrying the given vertex label.
+    pub fn vertices_with_label(&self, label: LabelId) -> &[VertexId] {
+        &self.vertices_by_label[label.0 as usize]
+    }
+
+    /// Iterate all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.vertex_count() as VertexId
+    }
+
+    /// The vertex-label interner (read access for diagnostics).
+    pub fn vertex_labels(&self) -> &Interner {
+        &self.vertex_labels
+    }
+
+    /// The edge-label interner (read access for diagnostics).
+    pub fn edge_labels(&self) -> &Interner {
+        &self.edge_labels
+    }
+
+    /// Approximate footprint in bytes of the graph topology (not including
+    /// user vertex state).
+    pub fn deep_size(&self) -> usize {
+        self.vlabel_of.len() * std::mem::size_of::<LabelId>()
+            + self.offsets.len() * 8
+            + self.edges.len() * std::mem::size_of::<Edge>()
+            + self.vertices_by_label.iter().map(|v| v.len() * 4 + 24).sum::<usize>()
+            + self.vertex_labels.deep_size()
+            + self.edge_labels.deep_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        // r0 --ra--> a0, r1 --ra--> a0, a0 --sb--> s0 (directed for the test)
+        let mut b = GraphBuilder::new();
+        let lr = b.vertex_label("R");
+        let la = b.vertex_label("int");
+        let ls = b.vertex_label("S");
+        let ra = b.edge_label("R.A");
+        let sb = b.edge_label("S.B");
+        let r0 = b.add_vertex(lr);
+        let r1 = b.add_vertex(lr);
+        let a0 = b.add_vertex(la);
+        let s0 = b.add_vertex(ls);
+        b.add_undirected_edge(r0, a0, ra);
+        b.add_undirected_edge(r1, a0, ra);
+        b.add_undirected_edge(s0, a0, sb);
+        b.finish()
+    }
+
+    #[test]
+    fn csr_layout_and_label_ranges() {
+        let g = tiny();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 6);
+        let a0 = 2;
+        assert_eq!(g.degree(a0), 3);
+        let ra = g.edge_label_id("R.A").unwrap();
+        let sb = g.edge_label_id("S.B").unwrap();
+        assert_eq!(g.degree_with_label(a0, ra), 2);
+        assert_eq!(g.degree_with_label(a0, sb), 1);
+        let targets: Vec<VertexId> =
+            g.out_edges_with_label(a0, ra).iter().map(|e| e.target).collect();
+        assert_eq!(targets, vec![0, 1]);
+    }
+
+    #[test]
+    fn label_lookup() {
+        let g = tiny();
+        let lr = g.vertex_label_id("R").unwrap();
+        assert_eq!(g.vertices_with_label(lr), &[0, 1]);
+        assert_eq!(g.vertex_label_name(g.label_of(3)), "S");
+        assert!(g.vertex_label_id("missing").is_none());
+    }
+
+    #[test]
+    fn missing_label_gives_empty_slice() {
+        let g = tiny();
+        let sb = g.edge_label_id("S.B").unwrap();
+        assert!(g.out_edges_with_label(0, sb).is_empty());
+    }
+}

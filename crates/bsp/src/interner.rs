@@ -1,0 +1,101 @@
+//! String interning for vertex and edge labels.
+//!
+//! TAG graphs have millions of edges but only tens of distinct edge labels
+//! (`R.A` per schema attribute), so labels are interned once and compared as
+//! `u32`s on the hot path.
+
+use std::fmt;
+use vcsql_relation::FxHashMap;
+
+/// An interned label (vertex label or edge label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A bidirectional string ↔ [`LabelId`] map.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    ids: FxHashMap<String, u32>,
+}
+
+impl Interner {
+    /// Empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(name) {
+            return LabelId(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        LabelId(id)
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.ids.get(name).map(|&id| LabelId(id))
+    }
+
+    /// The string for an id. Panics on a foreign id.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (LabelId(i as u32), n.as_str()))
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn deep_size(&self) -> usize {
+        self.names.iter().map(|n| n.capacity() + std::mem::size_of::<String>()).sum::<usize>()
+            + self.ids.len() * (std::mem::size_of::<(String, u32)>() + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("R.A");
+        let b = i.intern("R.B");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("R.A"), a);
+        assert_eq!(i.name(a), "R.A");
+        assert_eq!(i.get("R.B"), Some(b));
+        assert_eq!(i.get("missing"), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("z");
+        i.intern("a");
+        let names: Vec<&str> = i.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["z", "a"]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # vcsql-bsp — a vertex-centric bulk-synchronous-parallel engine
+//!
+//! A from-scratch, shared-memory Pregel-style engine (the substrate the paper
+//! assumes in Section 2): vertices execute a user program in supersteps,
+//! communicate only by messages, and synchronize at a barrier between
+//! supersteps. The engine provides
+//!
+//! * a labelled, immutable [`Graph`] (CSR adjacency, interned labels),
+//! * per-vertex user state and double-buffered message inboxes,
+//! * thread parallelism over shards of the active vertex set,
+//! * global aggregators (the paper's "aggregation vertex" mechanism),
+//! * per-superstep and total statistics: messages, bytes, active vertices —
+//!   the paper's *communication cost* measure, and
+//! * optional machine [`Partitioning`] so a distributed cluster can be
+//!   simulated by counting cross-machine traffic (used by `vcsql-dist`).
+//!
+//! Two levels of API:
+//!
+//! * [`Computation`] — a driver-controlled superstep loop. Each call to
+//!   [`Computation::superstep`] runs one BSP superstep; the host decides what
+//!   each superstep does (exactly how the paper's Algorithm 2 is "driven by"
+//!   a stack of edge labels, and how TigerGraph queries are sequences of
+//!   one-hop traversals).
+//! * [`VertexProgram`] + [`run_program`] — the classic Pregel loop: run until
+//!   no vertex is active.
+
+pub mod engine;
+pub mod graph;
+pub mod interner;
+pub mod partition;
+pub mod program;
+pub mod stats;
+
+pub use engine::{Computation, EngineConfig, Outbox, VertexCtx};
+pub use graph::{Edge, Graph, GraphBuilder, VertexId};
+pub use interner::{Interner, LabelId};
+pub use partition::Partitioning;
+pub use program::{run_program, Aggregator, Message, VertexProgram};
+pub use stats::{RunStats, StepStats};

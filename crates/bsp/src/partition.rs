@@ -1,0 +1,109 @@
+//! Machine partitioning for distributed-cluster simulation.
+//!
+//! The engine itself is shared-memory; to study distributed behaviour
+//! (Section 8.6 of the paper) we assign every vertex to one of `k` simulated
+//! machines and have the engine count messages/bytes that cross machine
+//! boundaries. This models the quantity the paper measures with `sar`: total
+//! network traffic during query execution.
+
+use crate::graph::{Graph, VertexId};
+use std::hash::{Hash, Hasher};
+use vcsql_relation::fx::FxHasher;
+
+/// An assignment of vertices to simulated machines.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    machine_of: Vec<u16>,
+    machines: usize,
+}
+
+impl Partitioning {
+    /// Hash-partition all vertices of a graph over `machines` machines —
+    /// TigerGraph's default automatic partitioning, which the paper uses
+    /// untuned ("We used TigerGraph's default automatic partitioning").
+    pub fn hash(graph: &Graph, machines: usize) -> Partitioning {
+        assert!(machines > 0 && machines <= u16::MAX as usize);
+        let machine_of = (0..graph.vertex_count() as VertexId)
+            .map(|v| {
+                let mut h = FxHasher::default();
+                v.hash(&mut h);
+                (h.finish() % machines as u64) as u16
+            })
+            .collect();
+        Partitioning { machine_of, machines }
+    }
+
+    /// Build from an explicit assignment.
+    pub fn from_assignment(machine_of: Vec<u16>, machines: usize) -> Partitioning {
+        assert!(machine_of.iter().all(|&m| (m as usize) < machines));
+        Partitioning { machine_of, machines }
+    }
+
+    /// The machine hosting vertex `v`.
+    #[inline]
+    pub fn machine_of(&self, v: VertexId) -> u16 {
+        self.machine_of[v as usize]
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// True iff `a` and `b` are on different machines (i.e. a message between
+    /// them would use the network).
+    #[inline]
+    pub fn crosses(&self, a: VertexId, b: VertexId) -> bool {
+        self.machine_of[a as usize] != self.machine_of[b as usize]
+    }
+
+    /// Number of vertices per machine (for balance diagnostics).
+    pub fn load(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.machines];
+        for &m in &self.machine_of {
+            counts[m as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let l = b.vertex_label("v");
+        for _ in 0..n {
+            b.add_vertex(l);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn hash_partition_is_roughly_balanced() {
+        let g = graph(10_000);
+        let p = Partitioning::hash(&g, 6);
+        let load = p.load();
+        assert_eq!(load.iter().sum::<usize>(), 10_000);
+        for &l in &load {
+            // Within 25% of the ideal 1667 — hash balance, not perfection.
+            assert!(l > 1200 && l < 2200, "unbalanced: {load:?}");
+        }
+    }
+
+    #[test]
+    fn crossing_detection() {
+        let p = Partitioning::from_assignment(vec![0, 0, 1], 2);
+        assert!(!p.crosses(0, 1));
+        assert!(p.crosses(0, 2));
+        assert_eq!(p.machine_of(2), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_assignment_panics() {
+        Partitioning::from_assignment(vec![0, 3], 2);
+    }
+}

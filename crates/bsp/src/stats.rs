@@ -1,0 +1,91 @@
+//! Execution statistics: the paper's communication/computation cost measure.
+//!
+//! The paper's Section 2 cost model counts every message sent over all
+//! supersteps (communication) and every unit of vertex work (computation).
+//! These counters let the benches check the analytic bounds (e.g.
+//! `min(IN, OUT)` for two-way joins, the AGM bound for cycles) against the
+//! implementation, and feed the distributed-simulation network figures.
+
+/// Statistics for one superstep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Vertices that executed this superstep.
+    pub active_vertices: u64,
+    /// Messages sent this superstep.
+    pub messages: u64,
+    /// Sum of message payload sizes in bytes.
+    pub message_bytes: u64,
+    /// Messages whose source and target live on different simulated machines
+    /// (zero when no partitioning is configured).
+    pub network_messages: u64,
+    /// Bytes crossing simulated machine boundaries.
+    pub network_bytes: u64,
+}
+
+impl StepStats {
+    fn add(&mut self, other: &StepStats) {
+        self.active_vertices += other.active_vertices;
+        self.messages += other.messages;
+        self.message_bytes += other.message_bytes;
+        self.network_messages += other.network_messages;
+        self.network_bytes += other.network_bytes;
+    }
+}
+
+/// Accumulated statistics for a whole computation.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    pub supersteps: u64,
+    pub totals: StepStats,
+    /// Per-superstep breakdown, in execution order.
+    pub steps: Vec<StepStats>,
+}
+
+impl RunStats {
+    /// Record a completed superstep.
+    pub fn record(&mut self, step: StepStats) {
+        self.supersteps += 1;
+        self.totals.add(&step);
+        self.steps.push(step);
+    }
+
+    /// Total messages over all supersteps (the paper's communication cost).
+    pub fn total_messages(&self) -> u64 {
+        self.totals.messages
+    }
+
+    /// Total message bytes over all supersteps.
+    pub fn total_bytes(&self) -> u64 {
+        self.totals.message_bytes
+    }
+
+    /// Fold another run's statistics into this one (used when a query runs
+    /// several vertex programs, e.g. per-bag subqueries then the glue join).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.supersteps += other.supersteps;
+        self.totals.add(&other.totals);
+        self.steps.extend_from_slice(&other.steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut r = RunStats::default();
+        r.record(StepStats { active_vertices: 3, messages: 5, message_bytes: 40, ..Default::default() });
+        r.record(StepStats { active_vertices: 2, messages: 1, message_bytes: 8, ..Default::default() });
+        assert_eq!(r.supersteps, 2);
+        assert_eq!(r.total_messages(), 6);
+        assert_eq!(r.total_bytes(), 48);
+        assert_eq!(r.steps.len(), 2);
+
+        let mut s = RunStats::default();
+        s.absorb(&r);
+        s.absorb(&r);
+        assert_eq!(s.supersteps, 4);
+        assert_eq!(s.total_messages(), 12);
+    }
+}

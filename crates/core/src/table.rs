@@ -1,0 +1,309 @@
+//! Intermediate result tables exchanged during the collection phase.
+//!
+//! Columns are identified by [`ColKey`]: join columns by their join
+//! *variable* (so equi-joined columns from different relations unify under
+//! one key — what lets a tuple vertex natural-join an incoming table against
+//! its own row), everything else by its `(table, column)` provenance.
+//! Column lists are kept **sorted**, which makes layouts predictable (the
+//! final layout of a traversal is statically known) and shared-column
+//! detection a linear merge.
+
+use std::sync::Arc;
+use vcsql_bsp::{Message, VertexId};
+use vcsql_relation::agg::Accumulator;
+use vcsql_relation::{fx, Value};
+
+/// A column key of an intermediate table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ColKey {
+    /// A join variable (equivalence class of equi-joined columns).
+    Var(u32),
+    /// A non-join column, identified by `(table index, column index)`.
+    Col { table: u16, col: u16 },
+}
+
+/// An intermediate table: sorted column keys + rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    pub cols: Vec<ColKey>,
+    pub rows: Vec<Box<[Value]>>,
+}
+
+impl Table {
+    /// Empty table over sorted keys.
+    pub fn empty(mut cols: Vec<ColKey>) -> Table {
+        cols.sort_unstable();
+        cols.dedup();
+        Table { cols, rows: Vec::new() }
+    }
+
+    /// A one-row table. `entries` may be unsorted and may repeat keys (the
+    /// first value wins).
+    pub fn singleton(entries: &[(ColKey, Value)]) -> Table {
+        let mut sorted: Vec<(ColKey, Value)> = entries.to_vec();
+        sorted.sort_by_key(|&(k, _)| k);
+        sorted.dedup_by_key(|&mut (k, _)| k);
+        let cols = sorted.iter().map(|&(k, _)| k).collect();
+        let row = sorted.into_iter().map(|(_, v)| v).collect();
+        Table { cols, rows: vec![row] }
+    }
+
+    /// Position of a key.
+    pub fn col_index(&self, key: ColKey) -> Option<usize> {
+        self.cols.binary_search(&key).ok()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate payload bytes (used for message accounting).
+    pub fn approx_bytes(&self) -> usize {
+        16 + self.rows.len() * self.cols.len() * 16
+    }
+
+    /// Union of same-schema tables (bag semantics).
+    pub fn union<'a>(tables: impl IntoIterator<Item = &'a Table>) -> Option<Table> {
+        let mut out: Option<Table> = None;
+        for t in tables {
+            match &mut out {
+                None => out = Some(t.clone()),
+                Some(acc) => {
+                    debug_assert_eq!(acc.cols, t.cols, "union of mismatched layouts");
+                    acc.rows.extend(t.rows.iter().cloned());
+                }
+            }
+        }
+        out
+    }
+
+    /// Natural join on shared column keys (hash join on the smaller side;
+    /// cross product when no keys are shared). Join values use `Value`'s
+    /// total equality (never NULL for `Var` keys — attribute vertices exist
+    /// only for non-NULL values).
+    pub fn natural_join(&self, other: &Table) -> Table {
+        // Shared keys: linear merge of the sorted col lists.
+        let mut shared = Vec::new();
+        {
+            let (mut i, mut j) = (0, 0);
+            while i < self.cols.len() && j < other.cols.len() {
+                match self.cols[i].cmp(&other.cols[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        shared.push(self.cols[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        // Output layout: sorted union.
+        let mut out_cols: Vec<ColKey> =
+            self.cols.iter().chain(other.cols.iter()).copied().collect();
+        out_cols.sort_unstable();
+        out_cols.dedup();
+        let mut out = Table { cols: out_cols, rows: Vec::new() };
+
+        let (build, probe) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let bkey: Vec<usize> =
+            shared.iter().map(|&k| build.col_index(k).expect("shared key")).collect();
+        let pkey: Vec<usize> =
+            shared.iter().map(|&k| probe.col_index(k).expect("shared key")).collect();
+
+        // Precompute output positions for build and probe columns.
+        let bpos: Vec<usize> =
+            build.cols.iter().map(|&k| out.col_index(k).expect("out key")).collect();
+        let ppos: Vec<usize> =
+            probe.cols.iter().map(|&k| out.col_index(k).expect("out key")).collect();
+
+        if shared.is_empty() {
+            for b in &build.rows {
+                for p in &probe.rows {
+                    out.rows.push(merge_row(out.cols.len(), b, &bpos, p, &ppos));
+                }
+            }
+            return out;
+        }
+
+        let mut index: vcsql_relation::FxHashMap<Vec<Value>, Vec<usize>> =
+            fx::map_with_capacity(build.len());
+        for (i, row) in build.rows.iter().enumerate() {
+            let key: Vec<Value> = bkey.iter().map(|&k| row[k].clone()).collect();
+            index.entry(key).or_default().push(i);
+        }
+        let mut key = Vec::with_capacity(pkey.len());
+        for p in &probe.rows {
+            key.clear();
+            key.extend(pkey.iter().map(|&k| p[k].clone()));
+            if let Some(matches) = index.get(&key) {
+                for &bi in matches {
+                    out.rows.push(merge_row(out.cols.len(), &build.rows[bi], &bpos, p, &ppos));
+                }
+            }
+        }
+        out
+    }
+
+    /// Keep rows passing `pred`.
+    pub fn retain(&mut self, mut pred: impl FnMut(&[Value]) -> bool) {
+        self.rows.retain(|r| pred(r));
+    }
+}
+
+fn merge_row(
+    width: usize,
+    a: &[Value],
+    apos: &[usize],
+    b: &[Value],
+    bpos: &[usize],
+) -> Box<[Value]> {
+    let mut row = vec![Value::Null; width];
+    // Probe values written second override build's on shared keys (equal by
+    // construction).
+    for (v, &p) in a.iter().zip(apos) {
+        row[p] = v.clone();
+    }
+    for (v, &p) in b.iter().zip(bpos) {
+        row[p] = v.clone();
+    }
+    row.into_boxed_slice()
+}
+
+/// A partially aggregated group (what roots ship to aggregation vertices).
+#[derive(Debug, Clone)]
+pub struct Partial {
+    /// One accumulator per output item (placeholders for non-aggregates).
+    pub accs: Vec<Accumulator>,
+    /// Accumulators for HAVING predicates.
+    pub having: Vec<Accumulator>,
+    /// A representative final-layout row of the group (for evaluating
+    /// group-key expressions and HAVING right-hand sides).
+    pub rep: Box<[Value]>,
+}
+
+/// Messages of the TAG-join vertex program.
+#[derive(Debug, Clone)]
+pub enum TagMsg {
+    /// Reduction-phase signal carrying the sender's id (Algorithm 2,
+    /// lines 13/18).
+    Signal(VertexId),
+    /// Collection-phase intermediate table (Algorithm 2, line 40).
+    Table(Arc<Table>),
+    /// Aggregation-phase `(group key, partial aggregate)` routed to a
+    /// group-key attribute vertex (Section 7, local aggregation).
+    Partial(Arc<(Box<[Value]>, Partial)>),
+}
+
+impl Message for TagMsg {
+    fn byte_size(&self) -> usize {
+        match self {
+            TagMsg::Signal(_) => 8,
+            TagMsg::Table(t) => t.approx_bytes(),
+            TagMsg::Partial(kp) => {
+                let (k, p) = &**kp;
+                32 + k.len() * 16 + p.accs.len() * 24 + p.having.len() * 24 + p.rep.len() * 16
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn singleton_sorts_and_dedups() {
+        let t = Table::singleton(&[
+            (ColKey::Col { table: 1, col: 0 }, v(10)),
+            (ColKey::Var(0), v(1)),
+            (ColKey::Var(0), v(999)), // duplicate key: first kept after sort
+        ]);
+        assert_eq!(t.cols, vec![ColKey::Var(0), ColKey::Col { table: 1, col: 0 }]);
+        assert_eq!(t.rows[0][0], v(1));
+    }
+
+    #[test]
+    fn natural_join_on_var() {
+        // L(var0, a) ⋈ R(var0, b)
+        let l = Table {
+            cols: vec![ColKey::Var(0), ColKey::Col { table: 0, col: 1 }],
+            rows: vec![
+                vec![v(1), v(10)].into_boxed_slice(),
+                vec![v(2), v(20)].into_boxed_slice(),
+            ],
+        };
+        let r = Table {
+            cols: vec![ColKey::Var(0), ColKey::Col { table: 1, col: 1 }],
+            rows: vec![
+                vec![v(1), v(100)].into_boxed_slice(),
+                vec![v(1), v(101)].into_boxed_slice(),
+                vec![v(3), v(300)].into_boxed_slice(),
+            ],
+        };
+        let j = l.natural_join(&r);
+        assert_eq!(j.cols.len(), 3);
+        assert_eq!(j.len(), 2);
+        for row in &j.rows {
+            assert_eq!(row[0], v(1));
+        }
+    }
+
+    #[test]
+    fn join_without_shared_keys_is_cross() {
+        let l = Table {
+            cols: vec![ColKey::Col { table: 0, col: 0 }],
+            rows: vec![vec![v(1)].into(), vec![v(2)].into()],
+        };
+        let r = Table {
+            cols: vec![ColKey::Col { table: 1, col: 0 }],
+            rows: vec![vec![v(7)].into(), vec![v(8)].into(), vec![v(9)].into()],
+        };
+        assert_eq!(l.natural_join(&r).len(), 6);
+    }
+
+    #[test]
+    fn union_accumulates_rows() {
+        let a = Table { cols: vec![ColKey::Var(0)], rows: vec![vec![v(1)].into()] };
+        let b = Table { cols: vec![ColKey::Var(0)], rows: vec![vec![v(2)].into(), vec![v(3)].into()] };
+        let u = Table::union([&a, &b]).unwrap();
+        assert_eq!(u.len(), 3);
+        assert!(Table::union(std::iter::empty::<&Table>()).is_none());
+    }
+
+    #[test]
+    fn join_is_commutative_on_bags() {
+        let l = Table {
+            cols: vec![ColKey::Var(0), ColKey::Col { table: 0, col: 1 }],
+            rows: vec![vec![v(1), v(10)].into(), vec![v(1), v(11)].into()],
+        };
+        let r = Table {
+            cols: vec![ColKey::Var(0), ColKey::Col { table: 1, col: 1 }],
+            rows: vec![vec![v(1), v(7)].into()],
+        };
+        let a = l.natural_join(&r);
+        let b = r.natural_join(&l);
+        let norm = |t: &Table| {
+            let mut rows = t.rows.clone();
+            rows.sort();
+            (t.cols.clone(), rows)
+        };
+        assert_eq!(norm(&a), norm(&b));
+    }
+
+    #[test]
+    fn message_sizes() {
+        let t = Table { cols: vec![ColKey::Var(0)], rows: vec![vec![v(1)].into()] };
+        assert!(TagMsg::Table(Arc::new(t)).byte_size() > TagMsg::Signal(0).byte_size());
+    }
+}

@@ -1,0 +1,383 @@
+//! The standalone two-way join of paper Section 4.
+//!
+//! Three supersteps over the TAG graph:
+//!
+//! 1. every attribute vertex of the join domain checks locally whether it is
+//!    a *join value* (it has edges labelled `R.A` **and** `S.B`) and signals
+//!    the joining tuple vertices;
+//! 2. signalled tuple vertices send their (projected) rows back — for
+//!    multi-attribute joins (Section 4.2) the rows carry the remaining join
+//!    attributes so the coordinating attribute vertex can intersect them;
+//! 3. the attribute vertex intersects both sides on the companion attributes
+//!    and keeps the factorized pair (left rows, right rows) — the factorized
+//!    representation of Section 4.1; [`TwoWayResult::expand`] produces the
+//!    flat bag-of-tuples form.
+
+use crate::table::{ColKey, Table};
+use std::sync::Arc;
+use vcsql_bsp::program::Aggregator;
+use vcsql_bsp::{Computation, EngineConfig, Message, RunStats, VertexCtx, VertexId};
+use vcsql_relation::{RelError, Value};
+use vcsql_tag::TagGraph;
+
+type Result<T> = std::result::Result<T, RelError>;
+
+/// A join specification: `left.cols[i] = right.cols[i]` for each i; the
+/// first pair is the coordinating attribute (Section 4.2 reduces to it).
+#[derive(Debug, Clone)]
+pub struct TwoWaySpec<'a> {
+    pub left: &'a str,
+    pub right: &'a str,
+    /// Join column pairs (by name); at least one.
+    pub on: Vec<(&'a str, &'a str)>,
+    /// Output columns of the left relation (names).
+    pub left_out: Vec<&'a str>,
+    /// Output columns of the right relation (names).
+    pub right_out: Vec<&'a str>,
+}
+
+/// One join value's factorized result.
+#[derive(Debug, Clone)]
+pub struct FactorGroup {
+    pub join_value: Value,
+    pub left: Table,
+    pub right: Table,
+}
+
+/// The factorized join output, distributed over attribute vertices in the
+/// computation and gathered here.
+#[derive(Debug)]
+pub struct TwoWayResult {
+    pub groups: Vec<FactorGroup>,
+    pub stats: RunStats,
+}
+
+impl TwoWayResult {
+    /// Expand the factorized representation into the flat join result
+    /// (Section 4.1, Superstep 3's Cartesian product per join value).
+    pub fn expand(&self) -> Table {
+        let mut out: Option<Table> = None;
+        for g in &self.groups {
+            let joined = g.left.natural_join(&g.right);
+            out = Some(match out {
+                None => joined,
+                Some(mut acc) => {
+                    acc.rows.extend(joined.rows);
+                    acc
+                }
+            });
+        }
+        out.unwrap_or_else(|| Table::empty(Vec::new()))
+    }
+
+    /// Upper bound on the flat output size without materializing it (exact
+    /// for single-attribute joins — the factorized-representation benefit).
+    pub fn output_size(&self) -> usize {
+        self.groups.iter().map(|g| g.left.len() * g.right.len()).sum()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum TwMsg {
+    /// Attr → tuple: "you join through me" (attr vertex id, side).
+    Signal(VertexId, u8),
+    /// Tuple → attr: projected row (side 0 = left, 1 = right).
+    Row(u8, Arc<Table>),
+}
+
+impl Message for TwMsg {
+    fn byte_size(&self) -> usize {
+        match self {
+            TwMsg::Signal(_, _) => 9,
+            TwMsg::Row(_, t) => 1 + t.approx_bytes(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct GroupsAgg(Vec<FactorGroup>);
+impl Aggregator for GroupsAgg {
+    fn merge(&mut self, mut other: Self) {
+        self.0.append(&mut other.0);
+    }
+}
+
+/// Execute a two-way join (paper Sections 4.1–4.2), returning the factorized
+/// result.
+pub fn two_way_join(
+    tag: &TagGraph,
+    config: EngineConfig,
+    spec: &TwoWaySpec<'_>,
+) -> Result<TwoWayResult> {
+    let lschema = tag
+        .schema(spec.left)
+        .ok_or_else(|| RelError::UnknownRelation(spec.left.to_string()))?
+        .clone();
+    let rschema = tag
+        .schema(spec.right)
+        .ok_or_else(|| RelError::UnknownRelation(spec.right.to_string()))?
+        .clone();
+    if spec.on.is_empty() {
+        return Err(RelError::Other("two-way join needs at least one column pair".into()));
+    }
+    let llabel = tag.column_label_by_name(spec.left, spec.on[0].0).ok_or_else(|| {
+        RelError::Other(format!("{}.{} not materialized", spec.left, spec.on[0].0))
+    })?;
+    let rlabel = tag.column_label_by_name(spec.right, spec.on[0].1).ok_or_else(|| {
+        RelError::Other(format!("{}.{} not materialized", spec.right, spec.on[0].1))
+    })?;
+
+    // Row specs: companion join columns as Var(i) (i = index into `on`,
+    // from 1), output columns as Plain keys (table 0 = left, 1 = right).
+    let lon: Vec<usize> =
+        spec.on.iter().map(|&(c, _)| lschema.column_index(c)).collect::<Result<_>>()?;
+    let ron: Vec<usize> =
+        spec.on.iter().map(|&(_, c)| rschema.column_index(c)).collect::<Result<_>>()?;
+    let lout: Vec<usize> =
+        spec.left_out.iter().map(|c| lschema.column_index(c)).collect::<Result<_>>()?;
+    let rout: Vec<usize> =
+        spec.right_out.iter().map(|c| rschema.column_index(c)).collect::<Result<_>>()?;
+    let row_spec = |side: u16, on_cols: &[usize], out_cols: &[usize]| {
+        let mut s: Vec<(ColKey, usize)> = Vec::new();
+        for (i, &c) in on_cols.iter().enumerate() {
+            if i > 0 {
+                s.push((ColKey::Var(i as u32), c));
+            }
+        }
+        for &c in out_cols {
+            s.push((ColKey::Col { table: side, col: c as u16 }, c));
+        }
+        s.sort_by_key(|&(k, _)| k);
+        s
+    };
+    let lspec = row_spec(0, &lon, &lout);
+    let rspec = row_spec(1, &ron, &rout);
+
+    let graph = tag.graph();
+    let mut comp: Computation<'_, (), TwMsg> = Computation::new(graph, config, |_| ());
+
+    // Activate all attribute vertices (the paper activates the join domain's
+    // attribute vertices; non-join values deactivate in superstep 1).
+    let mut start: Vec<VertexId> = Vec::new();
+    for label_name in ["@int", "@str", "@date", "@bool", "@float"] {
+        if let Some(l) = graph.vertex_label_id(label_name) {
+            start.extend_from_slice(graph.vertices_with_label(l));
+        }
+    }
+    comp.activate(start);
+
+    // Superstep 1: join-value check + signal both sides (paper Fig 2(a)).
+    comp.superstep_simple(|ctx: &mut VertexCtx<'_, '_, (), TwMsg>| {
+        if ctx.degree_with(llabel) == 0 || ctx.degree_with(rlabel) == 0 {
+            return; // not a join value: deactivate
+        }
+        let me = ctx.id();
+        let left: Vec<VertexId> = ctx.edges_with(llabel).iter().map(|e| e.target).collect();
+        let right: Vec<VertexId> = ctx.edges_with(rlabel).iter().map(|e| e.target).collect();
+        for t in left {
+            ctx.send(t, TwMsg::Signal(me, 0));
+        }
+        for t in right {
+            ctx.send(t, TwMsg::Signal(me, 1));
+        }
+    });
+
+    // Superstep 2: tuple vertices return their projected rows (Fig 2(b)),
+    // with companion attributes per Section 4.2.
+    comp.superstep_simple(|ctx: &mut VertexCtx<'_, '_, (), TwMsg>| {
+        let msgs: Vec<(VertexId, u8)> = ctx
+            .messages()
+            .iter()
+            .filter_map(|m| match m {
+                TwMsg::Signal(from, side) => Some((*from, *side)),
+                _ => None,
+            })
+            .collect();
+        let Some(tuple) = tag.tuple(ctx.id()) else { return };
+        for (attr, side) in msgs {
+            let spec = if side == 0 { &lspec } else { &rspec };
+            let entries: Vec<(ColKey, Value)> =
+                spec.iter().map(|&(k, c)| (k, tuple.get(c).clone())).collect();
+            ctx.send(attr, TwMsg::Row(side, Arc::new(Table::singleton(&entries))));
+        }
+    });
+
+    // Superstep 3: intersect companions, keep the factorized pair (Fig 2(c)).
+    let (_, groups) = comp.superstep(|ctx: &mut VertexCtx<'_, '_, (), TwMsg>, g: &mut GroupsAgg| {
+        let mut left: Vec<&Table> = Vec::new();
+        let mut right: Vec<&Table> = Vec::new();
+        for m in ctx.messages() {
+            if let TwMsg::Row(side, t) = m {
+                if *side == 0 {
+                    left.push(t);
+                } else {
+                    right.push(t);
+                }
+            }
+        }
+        let (Some(l), Some(r)) = (Table::union(left), Table::union(right)) else { return };
+        let (l, r) = intersect_companions(l, r);
+        if l.is_empty() || r.is_empty() {
+            return;
+        }
+        let join_value = tag.attr_value(ctx.id()).cloned().unwrap_or(Value::Null);
+        g.0.push(FactorGroup { join_value, left: l, right: r });
+    });
+
+    let (_, stats) = comp.finish();
+    let mut groups = groups.0;
+    groups.sort_by(|a, b| a.join_value.cmp(&b.join_value));
+    Ok(TwoWayResult { groups, stats })
+}
+
+/// Keep only rows whose companion (Var-keyed) values occur on both sides —
+/// the Section 4.2 intersection.
+fn intersect_companions(mut l: Table, mut r: Table) -> (Table, Table) {
+    let comp_cols: Vec<ColKey> =
+        l.cols.iter().copied().filter(|k| matches!(k, ColKey::Var(_))).collect();
+    if comp_cols.is_empty() {
+        return (l, r);
+    }
+    let key_positions = |t: &Table| -> Vec<usize> {
+        comp_cols.iter().map(|&k| t.col_index(k).expect("companion col")).collect()
+    };
+    let (lp, rp) = (key_positions(&l), key_positions(&r));
+    let key = |row: &[Value], pos: &[usize]| -> Vec<Value> {
+        pos.iter().map(|&p| row[p].clone()).collect()
+    };
+    let lkeys: vcsql_relation::FxHashSet<Vec<Value>> =
+        l.rows.iter().map(|row| key(row, &lp)).collect();
+    let rkeys: vcsql_relation::FxHashSet<Vec<Value>> =
+        r.rows.iter().map(|row| key(row, &rp)).collect();
+    l.rows.retain(|row| rkeys.contains(&key(row, &lp)));
+    r.rows.retain(|row| lkeys.contains(&key(row, &rp)));
+    (l, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsql_relation::schema::{Column, Schema};
+    use vcsql_relation::{Database, DataType, Relation, Tuple};
+
+    fn db(rs: Vec<(i64, i64)>, ss: Vec<(i64, i64)>) -> Database {
+        let mut db = Database::new();
+        let r = Relation::from_tuples(
+            Schema::new("R", vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)]),
+            rs.into_iter().map(|(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)])).collect(),
+        )
+        .unwrap();
+        let s = Relation::from_tuples(
+            Schema::new("S", vec![Column::new("b", DataType::Int), Column::new("c", DataType::Int)]),
+            ss.into_iter().map(|(b, c)| Tuple::new(vec![Value::Int(b), Value::Int(c)])).collect(),
+        )
+        .unwrap();
+        db.add(r);
+        db.add(s);
+        db
+    }
+
+    fn spec<'a>() -> TwoWaySpec<'a> {
+        TwoWaySpec {
+            left: "R",
+            right: "S",
+            on: vec![("b", "b")],
+            left_out: vec!["a"],
+            right_out: vec!["c"],
+        }
+    }
+
+    #[test]
+    fn figure2_example() {
+        // Paper Fig 2: b1 joins 3 R-tuples with 3 S-tuples; others dangle.
+        let db = db(
+            vec![(1, 10), (2, 10), (3, 10), (4, 20)],
+            vec![(10, 7), (10, 8), (10, 9), (30, 5)],
+        );
+        let tag = TagGraph::build(&db);
+        let res = two_way_join(&tag, EngineConfig::sequential(), &spec()).unwrap();
+        assert_eq!(res.groups.len(), 1);
+        assert_eq!(res.groups[0].join_value, Value::Int(10));
+        // Factorized: 3 + 3 rows; expanded: 9.
+        assert_eq!(res.groups[0].left.len(), 3);
+        assert_eq!(res.groups[0].right.len(), 3);
+        assert_eq!(res.output_size(), 9);
+        assert_eq!(res.expand().len(), 9);
+        // Exactly three supersteps (paper Section 4.1.1).
+        assert_eq!(res.stats.supersteps, 3);
+    }
+
+    #[test]
+    fn communication_bounded_by_input() {
+        // Selective join: only keys 95..99 overlap.
+        let rs: Vec<(i64, i64)> = (0..100).map(|i| (i, i)).collect();
+        let ss: Vec<(i64, i64)> = (0..100).map(|i| (i + 95, i)).collect();
+        let db = db(rs, ss);
+        let tag = TagGraph::build(&db);
+        let res = two_way_join(&tag, EngineConfig::sequential(), &spec()).unwrap();
+        assert_eq!(res.output_size(), 5);
+        // Signals and replies flow only for joining tuples:
+        // 2 * (|R ⋉ S| + |S ⋉ R|) = 2 * (5 + 5) = 20 messages.
+        assert_eq!(res.stats.total_messages(), 20);
+    }
+
+    #[test]
+    fn multi_attribute_intersection() {
+        // Paper Fig 3: R(A,B,C) ⋈ S(A,B,D) on (B, A): B coordinates, A is
+        // the companion; rows agreeing on B but not on A are eliminated.
+        let mut db = Database::new();
+        let r = Relation::from_tuples(
+            Schema::new(
+                "R",
+                vec![
+                    Column::new("a", DataType::Int),
+                    Column::new("b", DataType::Int),
+                    Column::new("c", DataType::Int),
+                ],
+            ),
+            vec![
+                Tuple::new(vec![Value::Int(1), Value::Int(10), Value::Int(100)]),
+                Tuple::new(vec![Value::Int(2), Value::Int(20), Value::Int(200)]),
+            ],
+        )
+        .unwrap();
+        let s = Relation::from_tuples(
+            Schema::new(
+                "S",
+                vec![
+                    Column::new("a", DataType::Int),
+                    Column::new("b", DataType::Int),
+                    Column::new("d", DataType::Int),
+                ],
+            ),
+            vec![
+                Tuple::new(vec![Value::Int(1), Value::Int(10), Value::Int(111)]),
+                Tuple::new(vec![Value::Int(3), Value::Int(20), Value::Int(222)]),
+            ],
+        )
+        .unwrap();
+        db.add(r);
+        db.add(s);
+        let tag = TagGraph::build(&db);
+        let spec = TwoWaySpec {
+            left: "R",
+            right: "S",
+            on: vec![("b", "b"), ("a", "a")],
+            left_out: vec!["c"],
+            right_out: vec!["d"],
+        };
+        let res = two_way_join(&tag, EngineConfig::sequential(), &spec).unwrap();
+        // Only (a=1, b=10) joins; b=20 disagrees on a and is pruned by the
+        // intersection.
+        assert_eq!(res.expand().len(), 1);
+    }
+
+    #[test]
+    fn empty_join() {
+        let db = db(vec![(1, 1)], vec![(2, 2)]);
+        let tag = TagGraph::build(&db);
+        let res = two_way_join(&tag, EngineConfig::sequential(), &spec()).unwrap();
+        assert!(res.groups.is_empty());
+        assert_eq!(res.expand().len(), 0);
+    }
+}

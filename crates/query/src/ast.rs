@@ -1,0 +1,301 @@
+//! Abstract syntax for the SQL subset.
+
+use std::fmt;
+use vcsql_relation::agg::AggFunc;
+use vcsql_relation::expr::{ColRef, CmpOp, Expr};
+
+/// A table reference with an alias (`lineitem l`; alias defaults to the
+/// relation name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub relation: String,
+    pub alias: String,
+}
+
+impl TableRef {
+    /// Reference with an explicit alias.
+    pub fn aliased(relation: impl Into<String>, alias: impl Into<String>) -> TableRef {
+        TableRef { relation: relation.into(), alias: alias.into() }
+    }
+
+    /// Reference aliased by its own name.
+    pub fn plain(relation: impl Into<String>) -> TableRef {
+        let r = relation.into();
+        TableRef { alias: r.clone(), relation: r }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.alias == self.relation {
+            write!(f, "{}", self.relation)
+        } else {
+            write!(f, "{} {}", self.relation, self.alias)
+        }
+    }
+}
+
+/// Explicit join flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Right,
+    Full,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JoinKind::Inner => "JOIN",
+            JoinKind::Left => "LEFT JOIN",
+            JoinKind::Right => "RIGHT JOIN",
+            JoinKind::Full => "FULL JOIN",
+        })
+    }
+}
+
+/// An explicit `kind JOIN table ON condition` attached to the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSpec {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: Expr,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A scalar expression (usually a plain column).
+    Expr { expr: Expr, alias: Option<String> },
+    /// An aggregate call `FUNC(arg)`; `arg` is `None` for `COUNT(*)`.
+    Agg { func: AggFunc, arg: Option<Expr>, alias: Option<String> },
+}
+
+impl SelectItem {
+    /// The output column name for this item.
+    pub fn output_name(&self, index: usize) -> String {
+        match self {
+            SelectItem::Expr { alias: Some(a), .. } | SelectItem::Agg { alias: Some(a), .. } => {
+                a.clone()
+            }
+            SelectItem::Expr { expr: Expr::Col(c), .. } => c.name.clone(),
+            SelectItem::Agg { func, .. } => format!("{func}_{index}").to_lowercase(),
+            _ => format!("col_{index}"),
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            SelectItem::Agg { func, arg, alias } => {
+                match (func, arg) {
+                    (AggFunc::CountStar, _) => write!(f, "COUNT(*)")?,
+                    (_, Some(e)) => write!(f, "{func}({e})")?,
+                    (_, None) => write!(f, "{func}(*)")?,
+                }
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// WHERE/HAVING-level expression: scalar expressions plus subquery
+/// predicates, combined with AND/OR/NOT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QExpr {
+    /// A subquery-free scalar predicate.
+    Base(Expr),
+    /// `[NOT] EXISTS (subquery)` — possibly correlated.
+    Exists { query: Box<SelectStmt>, negated: bool },
+    /// `expr [NOT] IN (subquery)`.
+    InSubquery { expr: Expr, query: Box<SelectStmt>, negated: bool },
+    /// `expr op (scalar subquery)`.
+    CmpSubquery { expr: Expr, op: CmpOp, query: Box<SelectStmt> },
+    And(Vec<QExpr>),
+    Or(Vec<QExpr>),
+    Not(Box<QExpr>),
+}
+
+impl QExpr {
+    /// Flatten a conjunction into its conjuncts.
+    pub fn conjuncts(self) -> Vec<QExpr> {
+        match self {
+            QExpr::And(es) => es.into_iter().flat_map(QExpr::conjuncts).collect(),
+            other => vec![other],
+        }
+    }
+
+    /// True iff no subquery occurs anywhere inside.
+    pub fn is_base(&self) -> bool {
+        match self {
+            QExpr::Base(_) => true,
+            QExpr::And(es) | QExpr::Or(es) => es.iter().all(QExpr::is_base),
+            QExpr::Not(e) => e.is_base(),
+            _ => false,
+        }
+    }
+
+    /// Convert to a plain [`Expr`] if subquery-free.
+    pub fn into_base(self) -> Option<Expr> {
+        match self {
+            QExpr::Base(e) => Some(e),
+            QExpr::And(es) => {
+                let parts: Option<Vec<Expr>> = es.into_iter().map(QExpr::into_base).collect();
+                parts.map(Expr::And)
+            }
+            QExpr::Or(es) => {
+                let parts: Option<Vec<Expr>> = es.into_iter().map(QExpr::into_base).collect();
+                parts.map(Expr::Or)
+            }
+            QExpr::Not(e) => e.into_base().map(|e| Expr::Not(Box::new(e))),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for QExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QExpr::Base(e) => write!(f, "{e}"),
+            QExpr::Exists { query, negated } => {
+                write!(f, "{}EXISTS ({query})", if *negated { "NOT " } else { "" })
+            }
+            QExpr::InSubquery { expr, query, negated } => {
+                write!(f, "{expr} {}IN ({query})", if *negated { "NOT " } else { "" })
+            }
+            QExpr::CmpSubquery { expr, op, query } => write!(f, "{expr} {op} ({query})"),
+            QExpr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            QExpr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            QExpr::Not(e) => write!(f, "NOT ({e})"),
+        }
+    }
+}
+
+/// One HAVING conjunct: `FUNC(arg) op rhs` (the shape used throughout the
+/// TPC workloads, e.g. `HAVING SUM(l_quantity) > 300`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HavingPred {
+    pub func: AggFunc,
+    pub arg: Option<Expr>,
+    pub op: CmpOp,
+    pub rhs: Expr,
+}
+
+impl fmt::Display for HavingPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.func, &self.arg) {
+            (AggFunc::CountStar, _) => write!(f, "COUNT(*)")?,
+            (func, Some(e)) => write!(f, "{func}({e})")?,
+            (func, None) => write!(f, "{func}(*)")?,
+        }
+        write!(f, " {} {}", self.op, self.rhs)
+    }
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    /// Explicit `JOIN ... ON` clauses (in FROM order).
+    pub joins: Vec<JoinSpec>,
+    pub where_clause: Option<QExpr>,
+    pub group_by: Vec<ColRef>,
+    /// Conjunction of aggregate comparisons.
+    pub having: Vec<HavingPred>,
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        for j in &self.joins {
+            write!(f, " {} {} ON {}", j.kind, j.table, j.on)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, c) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        for (i, h) in self.having.iter().enumerate() {
+            write!(f, " {} {h}", if i == 0 { "HAVING" } else { "AND" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsql_relation::Value;
+
+    #[test]
+    fn conjunct_flattening() {
+        let a = QExpr::Base(Expr::Lit(Value::Bool(true)));
+        let b = QExpr::Base(Expr::Lit(Value::Bool(false)));
+        let c = QExpr::Base(Expr::Lit(Value::Null));
+        let e = QExpr::And(vec![a.clone(), QExpr::And(vec![b.clone(), c.clone()])]);
+        assert_eq!(e.conjuncts().len(), 3);
+        assert_eq!(a.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn output_names() {
+        let item = SelectItem::Agg { func: AggFunc::Sum, arg: None, alias: None };
+        assert_eq!(item.output_name(2), "sum_2");
+        let item = SelectItem::Expr {
+            expr: Expr::col(ColRef::qualified("l", "qty")),
+            alias: None,
+        };
+        assert_eq!(item.output_name(0), "qty");
+    }
+}

@@ -1,0 +1,168 @@
+//! SQL lexer: identifiers, keywords (case-insensitive), numeric and string
+//! literals, and punctuation.
+
+use vcsql_relation::RelError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword, normalized to upper case in `keyword`.
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Punctuation / operators: `( ) , . * = < > <= >= <> + - /`
+    Sym(&'static str),
+}
+
+impl Token {
+    /// Keyword view: the identifier upper-cased (SQL keywords are
+    /// case-insensitive), or `None` for non-identifiers.
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            Token::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize SQL text.
+pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // line comment
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => return Err(RelError::Parse("unterminated string".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|e| {
+                        RelError::Parse(format!("bad float literal `{text}`: {e}"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|e| {
+                        RelError::Parse(format!("bad int literal `{text}`: {e}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            '<' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Sym("<="));
+                i += 2;
+            }
+            '<' if chars.get(i + 1) == Some(&'>') => {
+                out.push(Token::Sym("<>"));
+                i += 2;
+            }
+            '>' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Sym(">="));
+                i += 2;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Sym("<>"));
+                i += 2;
+            }
+            '(' | ')' | ',' | '.' | '*' | '=' | '<' | '>' | '+' | '-' | '/' | ';' => {
+                out.push(Token::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    _ => ";",
+                }));
+                i += 1;
+            }
+            other => return Err(RelError::Parse(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("SELECT a.b, 'it''s', 1.5, 42 FROM t WHERE x <= 3 AND y <> 4").unwrap();
+        assert!(toks.contains(&Token::Str("it's".into())));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Int(42)));
+        assert!(toks.contains(&Token::Sym("<=")));
+        assert!(toks.contains(&Token::Sym("<>")));
+    }
+
+    #[test]
+    fn comments_and_case() {
+        let toks = lex("select -- comment\n x").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].keyword().unwrap(), "SELECT");
+    }
+
+    #[test]
+    fn bang_equals_normalizes() {
+        assert_eq!(lex("a != b").unwrap()[1], Token::Sym("<>"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a ? b").is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # vcsql-query — SQL front-end and vertex-centric query planning
+//!
+//! The pipeline implemented here:
+//!
+//! 1. [`parse`] — a hand-rolled lexer + recursive-descent parser for the SQL
+//!    subset used by the TPC-style workloads (SELECT/FROM with comma joins
+//!    and explicit `[LEFT|RIGHT|FULL] JOIN ... ON`, WHERE with subqueries,
+//!    GROUP BY, HAVING, CASE/LIKE/IN/BETWEEN, arithmetic, date functions).
+//! 2. [`analyze::analyze`] — name resolution against a catalog, splitting the
+//!    WHERE clause into per-table filters, equi-join predicates, cross-table
+//!    residual filters and subquery predicates; classification of the
+//!    aggregation style (none / local / global / scalar — the classes of
+//!    paper Section 7 and Fig 15).
+//! 3. [`gyo`] — join hypergraph + GYO ear-removal: acyclicity test and join
+//!    tree construction; cyclic queries get a cycle-breaking fallback (the
+//!    broken predicate is enforced as a residual filter) plus metadata for
+//!    the dedicated cycle executor.
+//! 4. [`tagplan`] — the paper's TAG plan (Section 5.1) built from the join
+//!    tree, and `GenSteps` (Algorithm 1): the connected bottom-up traversal
+//!    producing the edge-label list that drives the vertex program.
+
+pub mod analyze;
+pub mod ast;
+pub mod gyo;
+pub mod lexer;
+pub mod parser;
+pub mod tagplan;
+
+pub use analyze::{analyze, AggClass, Analyzed, Correlation, JoinPred, OutputItem, SubqueryKind, SubqueryPred, TableBinding};
+pub use ast::{HavingPred, JoinKind, QExpr, SelectItem, SelectStmt, TableRef};
+pub use gyo::{decompose, Decomposition, JoinTree, JoinVar};
+pub use parser::parse;
+pub use tagplan::{PlanNode, Step, TagPlan};

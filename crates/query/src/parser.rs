@@ -1,0 +1,681 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! Grammar sketch (keywords case-insensitive):
+//!
+//! ```text
+//! stmt      := SELECT item (',' item)* FROM from WHERE? groupby? having?
+//! item      := aggfunc '(' ('*'|expr) ')' alias? | expr alias?
+//! from      := table (jk JOIN table ON expr)* (',' table (jk JOIN ...)*)*
+//! qexpr     := qand (OR qand)*          -- boolean level, may hold subqueries
+//! qand      := qnot (AND qnot)*
+//! qnot      := NOT qnot | qprim
+//! qprim     := EXISTS '(' stmt ')' | '(' qexpr ')' | predicate
+//! predicate := expr ( cmp (expr | '(' stmt ')')
+//!            | [NOT] IN '(' (stmt | literal+) ')'
+//!            | [NOT] LIKE str | BETWEEN expr AND expr | IS [NOT] NULL )
+//! expr      := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)*
+//! factor    := '-' factor | primary
+//! primary   := literal | DATE str | CASE..END | YEAR/MONTH '(' expr ')'
+//!            | ident ['.' ident] | '(' expr ')'
+//! ```
+
+use crate::ast::{JoinKind, JoinSpec, QExpr, SelectItem, SelectStmt, TableRef};
+use crate::lexer::{lex, Token};
+use vcsql_relation::agg::AggFunc;
+use vcsql_relation::expr::{ArithOp, CmpOp, ColRef, Expr, Func};
+use vcsql_relation::{io, RelError, Value};
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<SelectStmt, RelError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select_stmt()?;
+    p.eat_sym(";"); // optional trailing semicolon
+    if !p.at_end() {
+        return Err(RelError::Parse(format!("trailing tokens at {:?}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+const RESERVED: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AND", "OR", "NOT", "AS", "ON", "JOIN",
+    "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "EXISTS", "IN", "LIKE", "BETWEEN", "IS", "NULL",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "DATE", "COUNT", "SUM", "AVG", "MIN", "MAX", "YEAR",
+    "MONTH", "TRUE", "FALSE",
+];
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        self.peek().and_then(Token::keyword).as_deref() == Some(kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), RelError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(RelError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn peek_sym(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(Token::Sym(x)) if *x == s)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.peek_sym(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), RelError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(RelError::Parse(format!("expected `{s}`, found {:?}", self.peek())))
+        }
+    }
+
+    /// A non-reserved identifier.
+    fn ident(&mut self) -> Result<String, RelError> {
+        match self.peek() {
+            Some(Token::Ident(s))
+                if !RESERVED.contains(&s.to_ascii_uppercase().as_str()) =>
+            {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(RelError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------ statements
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, RelError> {
+        self.expect_keyword("SELECT")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat_sym(",") {
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let (from, joins) = self.from_clause()?;
+        let where_clause =
+            if self.eat_keyword("WHERE") { Some(self.qexpr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.colref()?);
+            while self.eat_sym(",") {
+                group_by.push(self.colref()?);
+            }
+        }
+        let mut having = Vec::new();
+        if self.eat_keyword("HAVING") {
+            having.push(self.having_pred()?);
+            while self.eat_keyword("AND") {
+                having.push(self.having_pred()?);
+            }
+        }
+        Ok(SelectStmt { items, from, joins, where_clause, group_by, having })
+    }
+
+    /// `FUNC(arg) op rhs` — the aggregate-comparison form of HAVING.
+    fn having_pred(&mut self) -> Result<crate::ast::HavingPred, RelError> {
+        let func = self
+            .peek_agg_func()
+            .ok_or_else(|| RelError::Parse(format!("expected aggregate in HAVING, found {:?}", self.peek())))?;
+        self.pos += 1;
+        self.expect_sym("(")?;
+        let (func, arg) = if self.eat_sym("*") {
+            (AggFunc::CountStar, None)
+        } else {
+            (func, Some(self.expr()?))
+        };
+        self.expect_sym(")")?;
+        let op = match self.advance() {
+            Some(Token::Sym("=")) => CmpOp::Eq,
+            Some(Token::Sym("<>")) => CmpOp::Ne,
+            Some(Token::Sym("<")) => CmpOp::Lt,
+            Some(Token::Sym("<=")) => CmpOp::Le,
+            Some(Token::Sym(">")) => CmpOp::Gt,
+            Some(Token::Sym(">=")) => CmpOp::Ge,
+            other => return Err(RelError::Parse(format!("expected comparison in HAVING, found {other:?}"))),
+        };
+        let rhs = self.expr()?;
+        Ok(crate::ast::HavingPred { func, arg, op, rhs })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, RelError> {
+        if let Some(func) = self.peek_agg_func() {
+            self.pos += 1;
+            self.expect_sym("(")?;
+            let (func, arg) = if self.eat_sym("*") {
+                if func != AggFunc::Count {
+                    return Err(RelError::Parse(format!("{func}(*) is not valid")));
+                }
+                (AggFunc::CountStar, None)
+            } else {
+                (func, Some(self.expr()?))
+            };
+            self.expect_sym(")")?;
+            let alias = self.alias()?;
+            return Ok(SelectItem::Agg { func, arg, alias });
+        }
+        let expr = self.expr()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn peek_agg_func(&self) -> Option<AggFunc> {
+        // Only treat as an aggregate when followed by `(`.
+        if !matches!(self.tokens.get(self.pos + 1), Some(Token::Sym("("))) {
+            return None;
+        }
+        match self.peek().and_then(Token::keyword).as_deref() {
+            Some("COUNT") => Some(AggFunc::Count),
+            Some("SUM") => Some(AggFunc::Sum),
+            Some("AVG") => Some(AggFunc::Avg),
+            Some("MIN") => Some(AggFunc::Min),
+            Some("MAX") => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    fn alias(&mut self) -> Result<Option<String>, RelError> {
+        if self.eat_keyword("AS") {
+            return Ok(Some(self.ident()?));
+        }
+        // Bare alias: a non-reserved identifier right after the expression.
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !RESERVED.contains(&s.to_ascii_uppercase().as_str()) {
+                let s = s.clone();
+                self.pos += 1;
+                return Ok(Some(s));
+            }
+        }
+        Ok(None)
+    }
+
+    fn from_clause(&mut self) -> Result<(Vec<TableRef>, Vec<JoinSpec>), RelError> {
+        let mut from = Vec::new();
+        let mut joins = Vec::new();
+        loop {
+            from.push(self.table_ref()?);
+            loop {
+                let kind = if self.eat_keyword("JOIN") || self.eat_keyword("INNER") {
+                    if self.peek_keyword("JOIN") {
+                        self.expect_keyword("JOIN")?;
+                    }
+                    JoinKind::Inner
+                } else if self.eat_keyword("LEFT") {
+                    self.eat_keyword("OUTER");
+                    self.expect_keyword("JOIN")?;
+                    JoinKind::Left
+                } else if self.eat_keyword("RIGHT") {
+                    self.eat_keyword("OUTER");
+                    self.expect_keyword("JOIN")?;
+                    JoinKind::Right
+                } else if self.eat_keyword("FULL") {
+                    self.eat_keyword("OUTER");
+                    self.expect_keyword("JOIN")?;
+                    JoinKind::Full
+                } else {
+                    break;
+                };
+                let table = self.table_ref()?;
+                self.expect_keyword("ON")?;
+                let on = self.expr_predicate()?;
+                joins.push(JoinSpec { kind, table, on });
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok((from, joins))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, RelError> {
+        let relation = self.ident()?;
+        let alias = self.alias()?.unwrap_or_else(|| relation.clone());
+        Ok(TableRef { relation, alias })
+    }
+
+    fn colref(&mut self) -> Result<ColRef, RelError> {
+        let first = self.ident()?;
+        if self.eat_sym(".") {
+            let second = self.ident()?;
+            Ok(ColRef::qualified(first, second))
+        } else {
+            Ok(ColRef::bare(first))
+        }
+    }
+
+    // ------------------------------------------------------ boolean level
+
+    fn qexpr(&mut self) -> Result<QExpr, RelError> {
+        let mut parts = vec![self.qand()?];
+        while self.eat_keyword("OR") {
+            parts.push(self.qand()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { QExpr::Or(parts) })
+    }
+
+    fn qand(&mut self) -> Result<QExpr, RelError> {
+        let mut parts = vec![self.qnot()?];
+        while self.eat_keyword("AND") {
+            parts.push(self.qnot()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { QExpr::And(parts) })
+    }
+
+    fn qnot(&mut self) -> Result<QExpr, RelError> {
+        if self.peek_keyword("NOT") && !self.not_starts_predicate() {
+            self.expect_keyword("NOT")?;
+            return Ok(QExpr::Not(Box::new(self.qnot()?)));
+        }
+        self.qprim()
+    }
+
+    /// `NOT EXISTS (...)` is handled inside qprim; plain `NOT <pred>` here.
+    fn not_starts_predicate(&self) -> bool {
+        matches!(
+            self.tokens.get(self.pos + 1).and_then(Token::keyword).as_deref(),
+            Some("EXISTS")
+        )
+    }
+
+    fn qprim(&mut self) -> Result<QExpr, RelError> {
+        if self.eat_keyword("EXISTS") {
+            self.expect_sym("(")?;
+            let q = self.select_stmt()?;
+            self.expect_sym(")")?;
+            return Ok(QExpr::Exists { query: Box::new(q), negated: false });
+        }
+        if self.peek_keyword("NOT") && self.not_starts_predicate() {
+            self.expect_keyword("NOT")?;
+            self.expect_keyword("EXISTS")?;
+            self.expect_sym("(")?;
+            let q = self.select_stmt()?;
+            self.expect_sym(")")?;
+            return Ok(QExpr::Exists { query: Box::new(q), negated: true });
+        }
+        // `( ... )` can open a boolean group or a parenthesized scalar
+        // expression; try the boolean parse first and backtrack.
+        if self.peek_sym("(") {
+            let save = self.pos;
+            self.expect_sym("(")?;
+            if let Ok(inner) = self.qexpr() {
+                if self.eat_sym(")") && !self.continues_scalar() {
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        self.predicate()
+    }
+
+    /// After a candidate boolean group, these tokens mean we actually
+    /// consumed a scalar expression (e.g. `(a + b) > c` parses `a + b` as a
+    /// degenerate predicate) — reject the boolean interpretation.
+    fn continues_scalar(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Sym("=" | "<" | ">" | "<=" | ">=" | "<>" | "+" | "-" | "*" | "/"))
+        ) || self.peek_keyword("BETWEEN")
+            || self.peek_keyword("IN")
+            || self.peek_keyword("LIKE")
+            || self.peek_keyword("IS")
+    }
+
+    fn predicate(&mut self) -> Result<QExpr, RelError> {
+        let lhs = self.expr()?;
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(QExpr::Base(Expr::IsNull { expr: Box::new(lhs), negated }));
+        }
+        // [NOT] IN / LIKE / BETWEEN
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect_sym("(")?;
+            if self.peek_keyword("SELECT") {
+                let q = self.select_stmt()?;
+                self.expect_sym(")")?;
+                return Ok(QExpr::InSubquery { expr: lhs, query: Box::new(q), negated });
+            }
+            let mut list = vec![self.literal()?];
+            while self.eat_sym(",") {
+                list.push(self.literal()?);
+            }
+            self.expect_sym(")")?;
+            return Ok(QExpr::Base(Expr::InList { expr: Box::new(lhs), list, negated }));
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = match self.advance() {
+                Some(Token::Str(s)) => s,
+                other => {
+                    return Err(RelError::Parse(format!("expected LIKE pattern, found {other:?}")))
+                }
+            };
+            return Ok(QExpr::Base(Expr::Like { expr: Box::new(lhs), pattern, negated }));
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.expr()?;
+            self.expect_keyword("AND")?;
+            let high = self.expr()?;
+            return Ok(QExpr::Base(Expr::Between {
+                expr: Box::new(lhs),
+                low: Box::new(low),
+                high: Box::new(high),
+            }));
+        }
+        if negated {
+            return Err(RelError::Parse("expected IN/LIKE after NOT".into()));
+        }
+        // comparison, possibly against a scalar subquery
+        let op = match self.peek() {
+            Some(Token::Sym("=")) => CmpOp::Eq,
+            Some(Token::Sym("<>")) => CmpOp::Ne,
+            Some(Token::Sym("<")) => CmpOp::Lt,
+            Some(Token::Sym("<=")) => CmpOp::Le,
+            Some(Token::Sym(">")) => CmpOp::Gt,
+            Some(Token::Sym(">=")) => CmpOp::Ge,
+            other => return Err(RelError::Parse(format!("expected predicate, found {other:?}"))),
+        };
+        self.pos += 1;
+        if self.peek_sym("(") && self.tokens.get(self.pos + 1).and_then(Token::keyword).as_deref() == Some("SELECT")
+        {
+            self.expect_sym("(")?;
+            let q = self.select_stmt()?;
+            self.expect_sym(")")?;
+            return Ok(QExpr::CmpSubquery { expr: lhs, op, query: Box::new(q) });
+        }
+        let rhs = self.expr()?;
+        Ok(QExpr::Base(lhs.cmp(op, rhs)))
+    }
+
+    /// Parse a subquery-free predicate (for JOIN ... ON).
+    fn expr_predicate(&mut self) -> Result<Expr, RelError> {
+        let q = self.qexpr()?;
+        q.into_base().ok_or_else(|| RelError::Parse("subquery not allowed in ON".into()))
+    }
+
+    // ------------------------------------------------------- scalar level
+
+    fn expr(&mut self) -> Result<Expr, RelError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = if self.eat_sym("+") {
+                ArithOp::Add
+            } else if self.eat_sym("-") {
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.term()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, RelError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = if self.eat_sym("*") {
+                ArithOp::Mul
+            } else if self.eat_sym("/") {
+                ArithOp::Div
+            } else {
+                break;
+            };
+            let rhs = self.factor()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, RelError> {
+        if self.eat_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.factor()?)));
+        }
+        self.primary()
+    }
+
+    fn literal(&mut self) -> Result<Value, RelError> {
+        match self.advance() {
+            Some(Token::Int(i)) => Ok(Value::Int(i)),
+            Some(Token::Float(f)) => Ok(Value::Float(f)),
+            Some(Token::Str(s)) => Ok(Value::str(s)),
+            Some(Token::Ident(id)) => match id.to_ascii_uppercase().as_str() {
+                "NULL" => Ok(Value::Null),
+                "TRUE" => Ok(Value::Bool(true)),
+                "FALSE" => Ok(Value::Bool(false)),
+                "DATE" => match self.advance() {
+                    Some(Token::Str(s)) => Ok(Value::Date(io::parse_date(&s)?)),
+                    other => Err(RelError::Parse(format!("expected date string, got {other:?}"))),
+                },
+                other => Err(RelError::Parse(format!("expected literal, found `{other}`"))),
+            },
+            other => Err(RelError::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, RelError> {
+        match self.peek().cloned() {
+            Some(Token::Int(_)) | Some(Token::Float(_)) | Some(Token::Str(_)) => {
+                Ok(Expr::Lit(self.literal()?))
+            }
+            Some(Token::Sym("(")) => {
+                self.expect_sym("(")?;
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(id)) => {
+                let kw = id.to_ascii_uppercase();
+                match kw.as_str() {
+                    "NULL" | "TRUE" | "FALSE" | "DATE" => Ok(Expr::Lit(self.literal()?)),
+                    "CASE" => self.case_expr(),
+                    "YEAR" | "MONTH" => {
+                        self.pos += 1;
+                        self.expect_sym("(")?;
+                        let arg = self.expr()?;
+                        self.expect_sym(")")?;
+                        let f = if kw == "YEAR" { Func::Year } else { Func::Month };
+                        Ok(Expr::Func(f, vec![arg]))
+                    }
+                    _ => Ok(Expr::Col(self.colref()?)),
+                }
+            }
+            other => Err(RelError::Parse(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, RelError> {
+        self.expect_keyword("CASE")?;
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let cond = self
+                .qexpr()?
+                .into_base()
+                .ok_or_else(|| RelError::Parse("subquery not allowed in CASE".into()))?;
+            self.expect_keyword("THEN")?;
+            let then = self.expr()?;
+            branches.push((cond, then));
+        }
+        if branches.is_empty() {
+            return Err(RelError::Parse("CASE requires at least one WHEN".into()));
+        }
+        let otherwise =
+            if self.eat_keyword("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case { branches, otherwise })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_join_query() {
+        let q = parse(
+            "SELECT c.name, o.total FROM customer c, orders o \
+             WHERE c.custkey = o.custkey AND o.total > 100.5",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0], TableRef::aliased("customer", "c"));
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let q = parse(
+            "SELECT n.name, SUM(o.total) AS revenue, COUNT(*) \
+             FROM nation n, orders o WHERE n.nk = o.nk \
+             GROUP BY n.name HAVING SUM(o.total) > 0",
+        );
+        // HAVING with aggregates: the parser treats SUM(...) inside HAVING as
+        // an error for now? No — HAVING parses qexpr; SUM( is an ident
+        // followed by '(' which primary() parses as a column ref... ensure it
+        // errors clearly rather than mis-parsing.
+        match q {
+            Ok(stmt) => {
+                assert_eq!(stmt.group_by.len(), 1);
+                assert_eq!(stmt.items.len(), 3);
+            }
+            Err(e) => panic!("should parse: {e}"),
+        }
+    }
+
+    #[test]
+    fn explicit_joins() {
+        let q = parse(
+            "SELECT a.x FROM r a LEFT JOIN s b ON a.k = b.k FULL OUTER JOIN t ON b.j = t.j",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.joins[0].kind, JoinKind::Left);
+        assert_eq!(q.joins[1].kind, JoinKind::Full);
+        assert_eq!(q.joins[1].table, TableRef::plain("t"));
+    }
+
+    #[test]
+    fn subqueries() {
+        let q = parse(
+            "SELECT o.k FROM orders o WHERE EXISTS (SELECT l.k FROM lineitem l WHERE l.k = o.k) \
+             AND o.q < (SELECT AVG(l2.q) FROM lineitem l2 WHERE l2.p = o.p) \
+             AND o.k IN (SELECT x.k FROM x)",
+        )
+        .unwrap();
+        let conj = q.where_clause.unwrap().conjuncts();
+        assert_eq!(conj.len(), 3);
+        assert!(matches!(conj[0], QExpr::Exists { negated: false, .. }));
+        assert!(matches!(conj[1], QExpr::CmpSubquery { op: CmpOp::Lt, .. }));
+        assert!(matches!(conj[2], QExpr::InSubquery { negated: false, .. }));
+    }
+
+    #[test]
+    fn not_exists() {
+        let q = parse("SELECT a.x FROM a WHERE NOT EXISTS (SELECT b.y FROM b WHERE b.y = a.x)")
+            .unwrap();
+        assert!(matches!(
+            q.where_clause.unwrap(),
+            QExpr::Exists { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn boolean_grouping_and_or() {
+        let q = parse(
+            "SELECT t.a FROM t WHERE (t.a = 1 OR t.b = 2) AND (t.c = 3 OR t.d = 4)",
+        )
+        .unwrap();
+        let conj = q.where_clause.unwrap().conjuncts();
+        assert_eq!(conj.len(), 2);
+        assert!(matches!(&conj[0], QExpr::Or(es) if es.len() == 2));
+    }
+
+    #[test]
+    fn parenthesized_arithmetic_is_not_boolean_group() {
+        let q = parse("SELECT t.a FROM t WHERE (t.a + t.b) > 3").unwrap();
+        match q.where_clause.unwrap() {
+            QExpr::Base(Expr::Cmp(CmpOp::Gt, _, _)) => {}
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_like_between_in() {
+        let q = parse(
+            "SELECT CASE WHEN t.a LIKE 'PROMO%' THEN t.b ELSE 0 END AS x FROM t \
+             WHERE t.d BETWEEN DATE '1995-01-01' AND DATE '1996-01-01' \
+             AND t.m IN ('A', 'B') AND t.n IS NOT NULL",
+        )
+        .unwrap();
+        assert!(matches!(q.items[0], SelectItem::Expr { expr: Expr::Case { .. }, alias: Some(_) }));
+        let conj = q.where_clause.unwrap().conjuncts();
+        assert_eq!(conj.len(), 3);
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let sql = "SELECT n.name, SUM(o.total) AS rev FROM nation n, orders o \
+                   WHERE n.nk = o.nk AND o.d >= DATE '1995-01-01' GROUP BY n.name";
+        let q1 = parse(sql).unwrap();
+        let q2 = parse(&q1.to_string()).unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a.b FROM").is_err());
+        assert!(parse("SELECT a FROM t WHERE a >").is_err());
+        assert!(parse("SELECT a FROM t extra junk +").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn count_star_and_year() {
+        let q = parse("SELECT COUNT(*), YEAR(o.d) FROM orders o GROUP BY o.d").unwrap();
+        assert!(matches!(q.items[0], SelectItem::Agg { func: AggFunc::CountStar, .. }));
+        assert!(matches!(q.items[1], SelectItem::Expr { expr: Expr::Func(Func::Year, _), .. }));
+    }
+}

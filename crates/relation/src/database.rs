@@ -1,0 +1,116 @@
+//! An in-memory database: a catalog of relations.
+
+use crate::error::RelError;
+use crate::fx::FxHashMap;
+use crate::tuple::Relation;
+use crate::Result;
+
+/// A collection of named relations. Iteration order is insertion order so
+/// that TAG construction, exports and tests are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    order: Vec<String>,
+    relations: FxHashMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Add (or replace) a relation.
+    pub fn add(&mut self, relation: Relation) {
+        let name = relation.name().to_string();
+        if !self.relations.contains_key(&name) {
+            self.order.push(name.clone());
+        }
+        self.relations.insert(name, relation);
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations.get(name).ok_or_else(|| RelError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations.get_mut(name).ok_or_else(|| RelError::UnknownRelation(name.to_string()))
+    }
+
+    /// True if the catalog contains `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Relations in insertion order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.order.iter().map(|n| &self.relations[n])
+    }
+
+    /// Relation names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(|s| s.as_str())
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True iff there are no relations.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Total tuple count across all relations (the paper's `IN`).
+    pub fn total_tuples(&self) -> usize {
+        self.relations().map(Relation::len).sum()
+    }
+
+    /// Approximate footprint in bytes of all tuple data.
+    pub fn deep_size(&self) -> usize {
+        self.relations().map(Relation::deep_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::tuple::Tuple;
+    use crate::value::{DataType, Value};
+
+    fn rel(name: &str, n: i64) -> Relation {
+        let schema = Schema::new(name, vec![Column::new("a", DataType::Int)]);
+        let tuples = (0..n).map(|i| Tuple::new(vec![Value::Int(i)])).collect();
+        Relation::from_tuples(schema, tuples).unwrap()
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mut db = Database::new();
+        db.add(rel("zzz", 1));
+        db.add(rel("aaa", 2));
+        let names: Vec<&str> = db.names().collect();
+        assert_eq!(names, vec!["zzz", "aaa"]);
+        assert_eq!(db.total_tuples(), 3);
+    }
+
+    #[test]
+    fn replace_keeps_order() {
+        let mut db = Database::new();
+        db.add(rel("r", 1));
+        db.add(rel("s", 1));
+        db.add(rel("r", 5));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get("r").unwrap().len(), 5);
+        assert_eq!(db.names().collect::<Vec<_>>(), vec!["r", "s"]);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let db = Database::new();
+        assert!(matches!(db.get("missing"), Err(RelError::UnknownRelation(_))));
+    }
+}

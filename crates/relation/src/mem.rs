@@ -1,0 +1,110 @@
+//! Deep-size accounting.
+//!
+//! The paper's Fig 14 / Table 7 / Table 15 compare *loaded data sizes* and
+//! *peak working-set sizes* across systems. We reproduce those by walking the
+//! engine data structures and summing approximate heap footprints, which is
+//! deterministic and allocator-independent (unlike RSS sampling).
+
+/// Types that can report an approximate total in-memory footprint in bytes
+/// (inline size plus owned heap allocations).
+pub trait DeepSize {
+    /// Approximate total footprint in bytes.
+    fn deep_size(&self) -> usize;
+}
+
+impl DeepSize for crate::value::Value {
+    fn deep_size(&self) -> usize {
+        crate::value::Value::deep_size(self)
+    }
+}
+
+impl DeepSize for crate::tuple::Tuple {
+    fn deep_size(&self) -> usize {
+        crate::tuple::Tuple::deep_size(self)
+    }
+}
+
+impl DeepSize for crate::tuple::Relation {
+    fn deep_size(&self) -> usize {
+        crate::tuple::Relation::deep_size(self)
+    }
+}
+
+impl DeepSize for crate::database::Database {
+    fn deep_size(&self) -> usize {
+        crate::database::Database::deep_size(self)
+    }
+}
+
+impl<T: DeepSize> DeepSize for Vec<T> {
+    fn deep_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.iter().map(DeepSize::deep_size).sum::<usize>()
+            + (self.capacity() - self.len()) * std::mem::size_of::<T>()
+    }
+}
+
+impl DeepSize for String {
+    fn deep_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.capacity()
+    }
+}
+
+macro_rules! impl_deepsize_pod {
+    ($($t:ty),*) => {
+        $(impl DeepSize for $t {
+            fn deep_size(&self) -> usize { std::mem::size_of::<$t>() }
+        })*
+    };
+}
+
+impl_deepsize_pod!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl<A: DeepSize, B: DeepSize> DeepSize for (A, B) {
+    fn deep_size(&self) -> usize {
+        self.0.deep_size() + self.1.deep_size()
+    }
+}
+
+/// Human-readable byte count (KiB/MiB) for harness output.
+pub fn human_bytes(bytes: usize) -> String {
+    const KI: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KI * KI * KI {
+        format!("{:.2} GiB", b / (KI * KI * KI))
+    } else if b >= KI * KI {
+        format!("{:.2} MiB", b / (KI * KI))
+    } else if b >= KI {
+        format!("{:.2} KiB", b / KI)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn vec_accounts_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        // 3 words for the Vec + 16 slots of 8 bytes.
+        assert_eq!(v.deep_size(), std::mem::size_of::<Vec<u64>>() + 16 * 8);
+    }
+
+    #[test]
+    fn strings_count_heap() {
+        let v = Value::str("hello");
+        assert!(v.deep_size() > std::mem::size_of::<Value>());
+        assert!(Value::Int(1).deep_size() == std::mem::size_of::<Value>());
+    }
+
+    #[test]
+    fn human_readable() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00 MiB");
+    }
+}

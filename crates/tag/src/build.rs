@@ -1,0 +1,641 @@
+//! TAG construction and maintenance.
+
+use vcsql_bsp::{Graph, GraphBuilder, LabelId, VertexId};
+use vcsql_relation::{
+    fx, Database, FxHashMap, RelError, Relation, Schema, Tuple, Value,
+};
+
+/// What a vertex stands for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A tuple vertex: the relation's tuple, stored in vertex state
+    /// (step (1) of the encoding).
+    Tuple(Tuple),
+    /// An attribute vertex: one distinct value of the active domain
+    /// (step (2) of the encoding).
+    Attr(Value),
+}
+
+impl Payload {
+    /// The tuple, if this is a tuple vertex.
+    pub fn tuple(&self) -> Option<&Tuple> {
+        match self {
+            Payload::Tuple(t) => Some(t),
+            Payload::Attr(_) => None,
+        }
+    }
+
+    /// The value, if this is an attribute vertex.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            Payload::Attr(v) => Some(v),
+            Payload::Tuple(_) => None,
+        }
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn deep_size(&self) -> usize {
+        match self {
+            Payload::Tuple(t) => t.deep_size(),
+            Payload::Attr(v) => v.deep_size(),
+        }
+    }
+}
+
+/// Decides which columns receive attribute vertices (paper Section 3).
+#[derive(Debug, Clone)]
+pub struct MaterializePolicy {
+    /// Materialize strings only up to this length (long descriptions and
+    /// comments are unlikely join keys). `None` = no limit.
+    pub max_string_len: Option<usize>,
+    /// Extra `(relation, column)` pairs to skip on top of the schema's
+    /// per-column `materialize` flags.
+    pub skip: Vec<(String, String)>,
+}
+
+impl Default for MaterializePolicy {
+    fn default() -> Self {
+        MaterializePolicy { max_string_len: Some(64), skip: Vec::new() }
+    }
+}
+
+impl MaterializePolicy {
+    /// Materialize everything the schema allows, regardless of length.
+    pub fn all() -> Self {
+        MaterializePolicy { max_string_len: None, skip: Vec::new() }
+    }
+
+    fn column_allowed(&self, schema: &Schema, col: usize) -> bool {
+        let c = &schema.columns[col];
+        c.materialize && !self.skip.iter().any(|(r, n)| r == &schema.name && n == &c.name)
+    }
+
+    fn value_allowed(&self, v: &Value) -> bool {
+        match v {
+            Value::Null => false, // NULL never joins; no vertex for it
+            Value::Str(s) => self.max_string_len.map_or(true, |m| s.len() <= m),
+            _ => true,
+        }
+    }
+}
+
+/// Attribute-vertex label per value type.
+fn attr_label_name(v: &Value) -> &'static str {
+    match v {
+        Value::Bool(_) => "@bool",
+        Value::Int(_) => "@int",
+        Value::Float(_) => "@float",
+        Value::Str(_) => "@str",
+        Value::Date(_) => "@date",
+        Value::Null => unreachable!("NULL has no attribute vertex"),
+    }
+}
+
+/// Mutable TAG under construction / maintenance.
+///
+/// Adjacency is per-vertex `Vec`s so inserting or deleting a tuple touches
+/// only that tuple's vertex, its attribute vertices, and their incident
+/// edges — the paper's "no reorganization" maintenance claim. Freezing into
+/// the CSR [`Graph`] used by the engine is a linear pass.
+pub struct TagBuilder {
+    policy: MaterializePolicy,
+    schemas: Vec<Schema>,
+    payloads: Vec<Payload>,
+    vertex_label_of: Vec<String>,
+    adjacency: Vec<Vec<(String, VertexId)>>,
+    attr_index: FxHashMap<Value, VertexId>,
+    deleted: Vec<bool>,
+}
+
+impl TagBuilder {
+    /// Empty builder with the given policy.
+    pub fn new(policy: MaterializePolicy) -> TagBuilder {
+        TagBuilder {
+            policy,
+            schemas: Vec::new(),
+            payloads: Vec::new(),
+            vertex_label_of: Vec::new(),
+            adjacency: Vec::new(),
+            attr_index: fx::map_with_capacity(1024),
+            deleted: Vec::new(),
+        }
+    }
+
+    /// Register a relation's schema (needed before inserting its tuples).
+    pub fn add_schema(&mut self, schema: Schema) {
+        if !self.schemas.iter().any(|s| s.name == schema.name) {
+            self.schemas.push(schema);
+        }
+    }
+
+    /// Insert one tuple of relation `rel`: creates its tuple vertex, creates
+    /// any missing attribute vertices, and links them (steps (1)–(3) of the
+    /// encoding). Cost is local: O(arity) plus hash lookups.
+    pub fn insert_tuple(&mut self, rel: &str, tuple: Tuple) -> Result<VertexId, RelError> {
+        let schema = self
+            .schemas
+            .iter()
+            .position(|s| s.name == rel)
+            .ok_or_else(|| RelError::UnknownRelation(rel.to_string()))?;
+        let schema = self.schemas[schema].clone();
+        if tuple.arity() != schema.arity() {
+            return Err(RelError::ArityMismatch { expected: schema.arity(), found: tuple.arity() });
+        }
+        let tv = self.fresh_vertex(rel.to_string(), Payload::Tuple(tuple.clone()));
+        for (c, v) in tuple.values().enumerate() {
+            if !self.policy.column_allowed(&schema, c) || !self.policy.value_allowed(v) {
+                continue;
+            }
+            let av = self.attr_vertex_for(v);
+            let label = format!("{}.{}", rel, schema.columns[c].name);
+            self.adjacency[tv as usize].push((label.clone(), av));
+            self.adjacency[av as usize].push((label, tv));
+        }
+        Ok(tv)
+    }
+
+    /// Delete a tuple vertex and its incident edges. The attribute vertices
+    /// stay (they may serve other tuples; an isolated attribute vertex is
+    /// harmless and is dropped at freeze time).
+    pub fn delete_tuple(&mut self, tv: VertexId) -> Result<(), RelError> {
+        if self.payloads.get(tv as usize).and_then(Payload::tuple).is_none()
+            || self.deleted[tv as usize]
+        {
+            return Err(RelError::Other(format!("vertex {tv} is not a live tuple vertex")));
+        }
+        self.deleted[tv as usize] = true;
+        let edges = std::mem::take(&mut self.adjacency[tv as usize]);
+        for (_, av) in edges {
+            self.adjacency[av as usize].retain(|&(_, t)| t != tv);
+        }
+        Ok(())
+    }
+
+    fn fresh_vertex(&mut self, label: String, payload: Payload) -> VertexId {
+        let id = self.payloads.len() as VertexId;
+        self.payloads.push(payload);
+        self.vertex_label_of.push(label);
+        self.adjacency.push(Vec::new());
+        self.deleted.push(false);
+        id
+    }
+
+    fn attr_vertex_for(&mut self, v: &Value) -> VertexId {
+        if let Some(&id) = self.attr_index.get(v) {
+            return id;
+        }
+        let id = self.fresh_vertex(attr_label_name(v).to_string(), Payload::Attr(v.clone()));
+        self.attr_index.insert(v.clone(), id);
+        id
+    }
+
+    /// Freeze into the immutable, executable [`TagGraph`]. Deleted and
+    /// isolated-attribute vertices are dropped and ids are compacted.
+    pub fn build(self) -> TagGraph {
+        let TagBuilder { policy: _, schemas, payloads, vertex_label_of, adjacency, deleted, .. } =
+            self;
+
+        // Keep live tuple vertices and attribute vertices with >= 1 edge.
+        let keep: Vec<bool> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| match p {
+                Payload::Tuple(_) => !deleted[i],
+                Payload::Attr(_) => !adjacency[i].is_empty(),
+            })
+            .collect();
+        let mut remap = vec![u32::MAX; payloads.len()];
+        let mut next = 0u32;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+
+        let mut gb = GraphBuilder::new();
+        // Pre-intern every relation's vertex label and every materializable
+        // column's edge label so empty relations still resolve (queries over
+        // them return empty results instead of "unknown label" errors).
+        for s in &schemas {
+            gb.vertex_label(&s.name);
+            for c in &s.columns {
+                if c.materialize {
+                    gb.edge_label(&format!("{}.{}", s.name, c.name));
+                }
+            }
+        }
+        let mut new_payloads = Vec::with_capacity(next as usize);
+        for (i, p) in payloads.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            let label = gb.vertex_label(&vertex_label_of[i]);
+            let v = gb.add_vertex(label);
+            debug_assert_eq!(v, remap[i]);
+            new_payloads.push(p.clone());
+        }
+        for (i, adj) in adjacency.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            for (label, t) in adj {
+                debug_assert!(keep[*t as usize], "edge to dropped vertex");
+                let l = gb.edge_label(label);
+                gb.add_edge(remap[i], remap[*t as usize], l);
+            }
+        }
+        let graph = gb.finish();
+
+        // Rebuild the value -> attribute-vertex index over compacted ids.
+        let mut attr_index = fx::map_with_capacity(new_payloads.len() / 2);
+        for (v, p) in new_payloads.iter().enumerate() {
+            if let Payload::Attr(val) = p {
+                attr_index.insert(val.clone(), v as VertexId);
+            }
+        }
+
+        // Per relation: LabelId of each column's edge label (None when not
+        // materialized / label absent because no value ever produced an edge).
+        let mut col_labels: FxHashMap<String, Vec<Option<LabelId>>> = FxHashMap::default();
+        for s in &schemas {
+            let labels = s
+                .columns
+                .iter()
+                .map(|c| graph.edge_label_id(&format!("{}.{}", s.name, c.name)))
+                .collect();
+            col_labels.insert(s.name.clone(), labels);
+        }
+
+        TagGraph { graph, payloads: new_payloads, attr_index, schemas, col_labels }
+    }
+}
+
+/// Size statistics for the loading experiments (Fig 14 shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagStats {
+    pub tuple_vertices: usize,
+    pub attr_vertices: usize,
+    /// Directed edge count (2x the undirected TAG edges).
+    pub edges: usize,
+    /// Approximate loaded size in bytes (topology + payloads + value index).
+    pub bytes: usize,
+}
+
+/// The frozen, executable TAG: CSR graph + per-vertex payloads + value index
+/// + the source schemas.
+pub struct TagGraph {
+    graph: Graph,
+    payloads: Vec<Payload>,
+    attr_index: FxHashMap<Value, VertexId>,
+    schemas: Vec<Schema>,
+    col_labels: FxHashMap<String, Vec<Option<LabelId>>>,
+}
+
+impl TagGraph {
+    /// Encode a whole database with the default policy.
+    pub fn build(db: &Database) -> TagGraph {
+        TagGraph::build_with_policy(db, MaterializePolicy::default())
+    }
+
+    /// Encode a whole database with an explicit materialization policy.
+    pub fn build_with_policy(db: &Database, policy: MaterializePolicy) -> TagGraph {
+        let mut b = TagBuilder::new(policy);
+        for rel in db.relations() {
+            b.add_schema(rel.schema.clone());
+        }
+        for rel in db.relations() {
+            for t in &rel.tuples {
+                b.insert_tuple(rel.name(), t.clone()).expect("schema registered above");
+            }
+        }
+        b.build()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Payload of a vertex.
+    #[inline]
+    pub fn payload(&self, v: VertexId) -> &Payload {
+        &self.payloads[v as usize]
+    }
+
+    /// The tuple stored at a tuple vertex.
+    #[inline]
+    pub fn tuple(&self, v: VertexId) -> Option<&Tuple> {
+        self.payloads[v as usize].tuple()
+    }
+
+    /// The value of an attribute vertex.
+    #[inline]
+    pub fn attr_value(&self, v: VertexId) -> Option<&Value> {
+        self.payloads[v as usize].value()
+    }
+
+    /// True iff `v` is a tuple vertex.
+    pub fn is_tuple_vertex(&self, v: VertexId) -> bool {
+        matches!(self.payloads[v as usize], Payload::Tuple(_))
+    }
+
+    /// The attribute vertex representing `value`, if materialized.
+    pub fn attr_vertex(&self, value: &Value) -> Option<VertexId> {
+        self.attr_index.get(value).copied()
+    }
+
+    /// Vertex label of a relation's tuple vertices.
+    pub fn relation_label(&self, rel: &str) -> Option<LabelId> {
+        self.graph.vertex_label_id(rel)
+    }
+
+    /// The edge label for `rel.column` (None if the column is not
+    /// materialized or produced no edges).
+    pub fn column_label(&self, rel: &str, col: usize) -> Option<LabelId> {
+        self.col_labels.get(rel).and_then(|v| v.get(col).copied().flatten())
+    }
+
+    /// The edge label for `rel.column` by column name.
+    pub fn column_label_by_name(&self, rel: &str, col: &str) -> Option<LabelId> {
+        let schema = self.schema(rel)?;
+        let idx = schema.column_index(col).ok()?;
+        self.column_label(rel, idx)
+    }
+
+    /// Schema of a relation.
+    pub fn schema(&self, rel: &str) -> Option<&Schema> {
+        self.schemas.iter().find(|s| s.name == rel)
+    }
+
+    /// All registered schemas.
+    pub fn schemas(&self) -> &[Schema] {
+        &self.schemas
+    }
+
+    /// Size statistics for the loading/size experiments.
+    pub fn stats(&self) -> TagStats {
+        let mut tuple_vertices = 0;
+        let mut attr_vertices = 0;
+        let mut payload_bytes = 0;
+        for p in &self.payloads {
+            match p {
+                Payload::Tuple(_) => tuple_vertices += 1,
+                Payload::Attr(_) => attr_vertices += 1,
+            }
+            payload_bytes += p.deep_size();
+        }
+        let index_bytes =
+            self.attr_index.len() * (std::mem::size_of::<(Value, VertexId)>() + 16);
+        TagStats {
+            tuple_vertices,
+            attr_vertices,
+            edges: self.graph.edge_count(),
+            bytes: self.graph.deep_size() + payload_bytes + index_bytes,
+        }
+    }
+
+    /// Decode the TAG back into a relational database (exact inverse of the
+    /// encoding — used as a round-trip correctness check).
+    pub fn decode(&self) -> Database {
+        let mut db = Database::new();
+        for s in &self.schemas {
+            let mut rel = Relation::empty(s.clone());
+            if let Some(label) = self.relation_label(&s.name) {
+                for &v in self.graph.vertices_with_label(label) {
+                    let t = self.tuple(v).expect("tuple vertex has tuple payload").clone();
+                    rel.push(t).expect("stored tuple matches schema");
+                }
+            }
+            db.add(rel);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsql_relation::schema::Column;
+    use vcsql_relation::{DataType, Date};
+
+    /// The paper's Figure 1 mini-instance: NATION(nationkey, name),
+    /// CUSTOMER(custkey, nationkey), ORDER(orderkey, custkey, date).
+    fn figure1_db() -> Database {
+        let nation = Relation::from_tuples(
+            Schema::new(
+                "NATION",
+                vec![Column::new("nationkey", DataType::Int), Column::new("name", DataType::Str)],
+            )
+            .with_primary_key(&["nationkey"]),
+            vec![
+                Tuple::new(vec![Value::Int(1), Value::str("USA")]),
+                Tuple::new(vec![Value::Int(2), Value::str("FRANCE")]),
+            ],
+        )
+        .unwrap();
+        let customer = Relation::from_tuples(
+            Schema::new(
+                "CUSTOMER",
+                vec![Column::new("custkey", DataType::Int), Column::new("nationkey", DataType::Int)],
+            )
+            .with_primary_key(&["custkey"]),
+            vec![
+                Tuple::new(vec![Value::Int(10), Value::Int(1)]),
+                Tuple::new(vec![Value::Int(2), Value::Int(2)]),
+            ],
+        )
+        .unwrap();
+        let orders = Relation::from_tuples(
+            Schema::new(
+                "ORDER",
+                vec![
+                    Column::new("orderkey", DataType::Int),
+                    Column::new("custkey", DataType::Int),
+                    Column::new("odate", DataType::Date),
+                ],
+            )
+            .with_primary_key(&["orderkey"]),
+            vec![
+                Tuple::new(vec![
+                    Value::Int(100),
+                    Value::Int(10),
+                    Value::Date(Date::from_ymd(2020, 1, 1)),
+                ]),
+                Tuple::new(vec![
+                    Value::Int(2),
+                    Value::Int(2),
+                    Value::Date(Date::from_ymd(2020, 1, 1)),
+                ]),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add(nation);
+        db.add(customer);
+        db.add(orders);
+        db
+    }
+
+    #[test]
+    fn attribute_vertices_are_shared_across_relations_and_columns() {
+        let db = figure1_db();
+        let tag = TagGraph::build(&db);
+        // Value 2 appears as: NATION.nationkey, CUSTOMER.custkey,
+        // CUSTOMER.nationkey, ORDER.orderkey, ORDER.custkey — one vertex,
+        // five (undirected) edges.
+        let v2 = tag.attr_vertex(&Value::Int(2)).expect("vertex for value 2");
+        assert_eq!(tag.graph().degree(v2), 5);
+        let labels: Vec<&str> = tag
+            .graph()
+            .out_edges(v2)
+            .iter()
+            .map(|e| tag.graph().edge_label_name(e.label))
+            .collect();
+        assert!(labels.contains(&"NATION.nationkey"));
+        assert!(labels.contains(&"CUSTOMER.custkey"));
+        assert!(labels.contains(&"CUSTOMER.nationkey"));
+        assert!(labels.contains(&"ORDER.orderkey"));
+        assert!(labels.contains(&"ORDER.custkey"));
+    }
+
+    #[test]
+    fn graph_is_bipartite() {
+        let db = figure1_db();
+        let tag = TagGraph::build(&db);
+        for v in tag.graph().vertices() {
+            let v_is_tuple = tag.is_tuple_vertex(v);
+            for e in tag.graph().out_edges(v) {
+                assert_ne!(
+                    v_is_tuple,
+                    tag.is_tuple_vertex(e.target),
+                    "edge between same-kind vertices"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_date_connects_two_orders() {
+        let db = figure1_db();
+        let tag = TagGraph::build(&db);
+        let d = Value::Date(Date::from_ymd(2020, 1, 1));
+        let dv = tag.attr_vertex(&d).expect("date vertex");
+        assert_eq!(tag.graph().degree(dv), 2);
+    }
+
+    #[test]
+    fn size_is_linear_and_counts_match() {
+        let db = figure1_db();
+        let tag = TagGraph::build(&db);
+        let stats = tag.stats();
+        assert_eq!(stats.tuple_vertices, 6);
+        // Distinct values: 1, 2, 10, 100, "USA", "FRANCE", the date = 7.
+        assert_eq!(stats.attr_vertices, 7);
+        // Undirected edges = total non-null fields = 2*2 + 2*2 + 2*3 = 14;
+        // directed = 28.
+        assert_eq!(stats.edges, 28);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn roundtrip_decode() {
+        let db = figure1_db();
+        let tag = TagGraph::build(&db);
+        let back = tag.decode();
+        for rel in db.relations() {
+            assert!(back.get(rel.name()).unwrap().same_bag(rel), "{} differs", rel.name());
+        }
+    }
+
+    #[test]
+    fn policy_skips_floats_nulls_and_long_strings() {
+        let schema = Schema::new(
+            "R",
+            vec![
+                Column::new("k", DataType::Int),
+                Column::new("price", DataType::Float), // unmaterialized by default
+                Column::new("comment", DataType::Str),
+            ],
+        );
+        let long = "x".repeat(100);
+        let rel = Relation::from_tuples(
+            schema,
+            vec![
+                Tuple::new(vec![Value::Int(1), Value::Float(9.99), Value::str(&long)]),
+                Tuple::new(vec![Value::Int(2), Value::Null, Value::str("short")]),
+            ],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add(rel);
+        let tag = TagGraph::build(&db);
+        assert!(tag.attr_vertex(&Value::Float(9.99)).is_none(), "float materialized");
+        assert!(tag.attr_vertex(&Value::str(&long)).is_none(), "long string materialized");
+        assert!(tag.attr_vertex(&Value::str("short")).is_some());
+        assert!(tag.attr_vertex(&Value::Null).is_none());
+        // Tuple payloads still carry the full values.
+        let rl = tag.relation_label("R").unwrap();
+        let tv = tag.graph().vertices_with_label(rl)[0];
+        assert_eq!(tag.tuple(tv).unwrap().get(1), &Value::Float(9.99));
+    }
+
+    #[test]
+    fn incremental_insert_equals_bulk_build() {
+        let db = figure1_db();
+        let bulk = TagGraph::build(&db);
+
+        let mut b = TagBuilder::new(MaterializePolicy::default());
+        for rel in db.relations() {
+            b.add_schema(rel.schema.clone());
+        }
+        for rel in db.relations() {
+            for t in &rel.tuples {
+                b.insert_tuple(rel.name(), t.clone()).unwrap();
+            }
+        }
+        let inc = b.build();
+        let (s1, s2) = (bulk.stats(), inc.stats());
+        assert_eq!(s1, s2);
+        for rel in db.relations() {
+            assert!(inc.decode().get(rel.name()).unwrap().same_bag(rel));
+        }
+    }
+
+    #[test]
+    fn delete_removes_tuple_and_its_edges() {
+        let db = figure1_db();
+        let mut b = TagBuilder::new(MaterializePolicy::default());
+        for rel in db.relations() {
+            b.add_schema(rel.schema.clone());
+        }
+        let mut order_vertices = Vec::new();
+        for rel in db.relations() {
+            for t in &rel.tuples {
+                let v = b.insert_tuple(rel.name(), t.clone()).unwrap();
+                if rel.name() == "ORDER" {
+                    order_vertices.push(v);
+                }
+            }
+        }
+        b.delete_tuple(order_vertices[0]).unwrap();
+        // Double delete is an error.
+        assert!(b.delete_tuple(order_vertices[0]).is_err());
+        let tag = b.build();
+        let decoded = tag.decode();
+        assert_eq!(decoded.get("ORDER").unwrap().len(), 1);
+        assert_eq!(decoded.get("NATION").unwrap().len(), 2);
+        // Value 100 only occurred in the deleted tuple: vertex dropped.
+        assert!(tag.attr_vertex(&Value::Int(100)).is_none());
+        // Value 10 still serves CUSTOMER_10.
+        assert!(tag.attr_vertex(&Value::Int(10)).is_some());
+    }
+
+    #[test]
+    fn insert_rejects_unknown_relation_and_bad_arity() {
+        let mut b = TagBuilder::new(MaterializePolicy::default());
+        b.add_schema(Schema::new("R", vec![Column::new("a", DataType::Int)]));
+        assert!(b.insert_tuple("S", Tuple::new(vec![Value::Int(1)])).is_err());
+        assert!(b.insert_tuple("R", Tuple::new(vec![Value::Int(1), Value::Int(2)])).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # vcsql-tag — the Tuple-Attribute Graph encoding (paper Section 3)
+//!
+//! Encodes a relational [`Database`](vcsql_relation::Database) as a bipartite
+//! graph:
+//!
+//! * one **tuple vertex** per tuple occurrence, labelled with its relation
+//!   name, storing the tuple in its state;
+//! * one **attribute vertex** per *distinct* value in the active domain,
+//!   labelled by type (`@int`, `@str`, ...), shared across relations and
+//!   attribute names;
+//! * one undirected edge labelled `R.A` per occurrence of value `a` in
+//!   attribute `A` of an `R`-tuple.
+//!
+//! Attribute vertices are the implicit index: the tuples joining through a
+//! value are exactly the neighbours of its attribute vertex, partitioned by
+//! edge label. The encoding is query-independent and linear in the database
+//! size.
+//!
+//! The paper's materialization policy (Section 3) is honoured: columns whose
+//! values are "tricky" to join on (floats) or unlikely join keys (long text)
+//! can skip attribute vertices and live only in the tuple state; see
+//! [`MaterializePolicy`].
+//!
+//! [`TagBuilder`] is the mutable form supporting the paper's cheap local
+//! maintenance (insert/delete of tuples touches only the affected vertices
+//! and their incident edges); building yields the immutable CSR graph the BSP
+//! engine executes over.
+
+pub mod build;
+
+pub use build::{MaterializePolicy, Payload, TagBuilder, TagGraph, TagStats};

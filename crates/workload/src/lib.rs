@@ -1,0 +1,52 @@
+//! # vcsql-workload — TPC-style schemas, data generators and query suites
+//!
+//! Laptop-scale stand-ins for the paper's TPC-H and TPC-DS setups:
+//!
+//! * [`tpch`] — the classic 3NF 8-table schema with a purely synthetic,
+//!   uniformly scaling generator (like dbgen), and a 15-query suite shaped
+//!   after the TPC-H queries the paper analyses, each tagged with the paper
+//!   query it mirrors and its aggregation class;
+//! * [`tpcds`] — a snowflake schema (3 fact + 6 dimension tables) with
+//!   sub-linear dimension scaling, skewed foreign keys and NULLs (like
+//!   dsdgen), and a 20-query suite covering the paper's classes: no
+//!   aggregation, local, global and scalar aggregation, and correlated
+//!   subqueries;
+//! * [`synthetic`] — parameterized binary-relation instances for the
+//!   two-way-join cost-model and cycle-query experiments (Sections 4 and 6).
+//!
+//! Scale factors are fractional: `sf = 1.0` produces roughly 60k lineitems —
+//! about 1/1000 of TPC-H SF-1 — so the paper's three scale points map to
+//! e.g. 0.05 / 0.1 / 0.2 here.
+
+pub mod synthetic;
+pub mod tpcds;
+pub mod tpch;
+
+use vcsql_query::AggClass;
+
+/// A benchmark query: SQL plus metadata for the harness tables.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Suite-local id, e.g. "q3".
+    pub id: &'static str,
+    /// The paper/TPC query this is shaped after.
+    pub paper_ref: &'static str,
+    /// Aggregation class (paper Section 7 / Fig 15 grouping).
+    pub class: AggClass,
+    /// Whether this query contains a correlated subquery (Table 3's "Corr"
+    /// rows).
+    pub correlated: bool,
+    pub sql: &'static str,
+}
+
+impl BenchQuery {
+    pub(crate) fn new(
+        id: &'static str,
+        paper_ref: &'static str,
+        class: AggClass,
+        correlated: bool,
+        sql: &'static str,
+    ) -> BenchQuery {
+        BenchQuery { id, paper_ref, class, correlated, sql }
+    }
+}

@@ -1,0 +1,496 @@
+//! TPC-DS-style snowflake schema, generator and query suite.
+//!
+//! Three fact tables (`store_sales`, `catalog_sales`, `web_sales`) over six
+//! shared dimensions. Mirroring dsdgen's character: dimensions scale
+//! *sub-linearly* with the scale factor, fact foreign keys are skewed
+//! (popular items/customers get disproportionate traffic) and non-key fact
+//! columns contain NULLs.
+
+use crate::BenchQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcsql_query::AggClass;
+use vcsql_relation::schema::{Column, Schema};
+use vcsql_relation::{Database, DataType, Date, Relation, Tuple, Value};
+
+const STATES: [&str; 10] = ["CA", "NY", "TX", "WA", "IL", "GA", "OH", "MI", "TN", "OR"];
+const CATEGORIES: [&str; 6] = ["Music", "Books", "Electronics", "Home", "Sports", "Shoes"];
+const CLASSES: [&str; 5] = ["accent", "classic", "portable", "premium", "value"];
+const GENDERS: [&str; 2] = ["M", "F"];
+const MARITAL: [&str; 3] = ["S", "M", "D"];
+const EDUCATION: [&str; 4] = ["Primary", "Secondary", "College", "Advanced"];
+
+/// The TPC-DS-style schemas.
+pub fn schemas() -> Vec<Schema> {
+    vec![
+        Schema::new(
+            "date_dim",
+            vec![
+                Column::new("d_datekey", DataType::Int),
+                Column::new("d_date", DataType::Date),
+                Column::new("d_year", DataType::Int),
+                Column::new("d_moy", DataType::Int),
+                Column::new("d_qoy", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["d_datekey"]),
+        Schema::new(
+            "item",
+            vec![
+                Column::new("i_itemkey", DataType::Int),
+                Column::new("i_brand", DataType::Str),
+                Column::new("i_category", DataType::Str),
+                Column::new("i_class", DataType::Str),
+                Column::new("i_color", DataType::Str),
+                Column::new("i_price", DataType::Float),
+                Column::new("i_manufact_id", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["i_itemkey"]),
+        Schema::new(
+            "customer_address",
+            vec![
+                Column::new("ca_addrkey", DataType::Int),
+                Column::new("ca_state", DataType::Str),
+                Column::new("ca_gmt", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["ca_addrkey"]),
+        Schema::new(
+            "customer_demographics",
+            vec![
+                Column::new("cd_demokey", DataType::Int),
+                Column::new("cd_gender", DataType::Str),
+                Column::new("cd_marital", DataType::Str),
+                Column::new("cd_education", DataType::Str),
+            ],
+        )
+        .with_primary_key(&["cd_demokey"]),
+        Schema::new(
+            "customer_dim",
+            vec![
+                Column::new("c_custkey", DataType::Int),
+                Column::new("c_addrkey", DataType::Int),
+                Column::new("c_demokey", DataType::Int),
+                Column::new("c_name", DataType::Str),
+                Column::new("c_birth_year", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["c_custkey"])
+        .with_foreign_key(&["c_addrkey"], "customer_address", &["ca_addrkey"])
+        .with_foreign_key(&["c_demokey"], "customer_demographics", &["cd_demokey"]),
+        Schema::new(
+            "store",
+            vec![
+                Column::new("st_storekey", DataType::Int),
+                Column::new("st_state", DataType::Str),
+                Column::new("st_market", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["st_storekey"]),
+        Schema::new(
+            "store_sales",
+            vec![
+                Column::new("ss_datekey", DataType::Int),
+                Column::new("ss_itemkey", DataType::Int),
+                Column::new("ss_custkey", DataType::Int),
+                Column::new("ss_storekey", DataType::Int),
+                Column::new("ss_quantity", DataType::Int),
+                Column::new("ss_price", DataType::Float),
+                Column::new("ss_profit", DataType::Float),
+            ],
+        )
+        .with_foreign_key(&["ss_datekey"], "date_dim", &["d_datekey"])
+        .with_foreign_key(&["ss_itemkey"], "item", &["i_itemkey"])
+        .with_foreign_key(&["ss_custkey"], "customer_dim", &["c_custkey"])
+        .with_foreign_key(&["ss_storekey"], "store", &["st_storekey"]),
+        Schema::new(
+            "catalog_sales",
+            vec![
+                Column::new("cs_datekey", DataType::Int),
+                Column::new("cs_itemkey", DataType::Int),
+                Column::new("cs_custkey", DataType::Int),
+                Column::new("cs_quantity", DataType::Int),
+                Column::new("cs_price", DataType::Float),
+            ],
+        )
+        .with_foreign_key(&["cs_datekey"], "date_dim", &["d_datekey"])
+        .with_foreign_key(&["cs_itemkey"], "item", &["i_itemkey"])
+        .with_foreign_key(&["cs_custkey"], "customer_dim", &["c_custkey"]),
+        Schema::new(
+            "web_sales",
+            vec![
+                Column::new("ws_datekey", DataType::Int),
+                Column::new("ws_itemkey", DataType::Int),
+                Column::new("ws_custkey", DataType::Int),
+                Column::new("ws_quantity", DataType::Int),
+                Column::new("ws_price", DataType::Float),
+            ],
+        )
+        .with_foreign_key(&["ws_datekey"], "date_dim", &["d_datekey"])
+        .with_foreign_key(&["ws_itemkey"], "item", &["i_itemkey"])
+        .with_foreign_key(&["ws_custkey"], "customer_dim", &["c_custkey"]),
+    ]
+}
+
+/// Skewed key draw: 80% of draws hit the first 20% of the key space.
+fn skewed_key(rng: &mut StdRng, n: usize) -> i64 {
+    if rng.gen_bool(0.8) {
+        rng.gen_range(0..(n / 5).max(1)) as i64
+    } else {
+        rng.gen_range(0..n) as i64
+    }
+}
+
+/// Nullable fact FK: ~2% NULL (TPC-DS allows NULLs in any non-PK column).
+fn nullable(rng: &mut StdRng, v: i64) -> Value {
+    if rng.gen_bool(0.02) {
+        Value::Null
+    } else {
+        Value::Int(v)
+    }
+}
+
+/// Generate a TPC-DS-style database. Facts scale linearly with `sf`,
+/// dimensions with `sf.sqrt()` (the paper: "dimension tables scale
+/// sub-linearly").
+pub fn generate(sf: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schemas = schemas();
+    let schema = |name: &str| schemas.iter().find(|s| s.name == name).unwrap().clone();
+    let dim = |base: usize| ((base as f64 * sf.sqrt()).round() as usize).max(4);
+    let fact = |base: usize| ((base as f64 * sf).round() as usize).max(10);
+
+    let n_dates = 365 * 3; // three years of days
+    let n_items = dim(900);
+    let n_addr = dim(500);
+    let n_demo = dim(240);
+    let n_cust = dim(1200);
+    let n_store = dim(30);
+    let n_ss = fact(30_000);
+    let n_cs = fact(15_000);
+    let n_ws = fact(8_000);
+
+    let mut db = Database::new();
+
+    let mut date_dim = Relation::empty(schema("date_dim"));
+    let start = Date::from_ymd(1999, 1, 1);
+    for k in 0..n_dates {
+        let d = start.add_days(k as i32);
+        let (y, m, _) = d.to_ymd();
+        date_dim
+            .push(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::Date(d),
+                Value::Int(y as i64),
+                Value::Int(m as i64),
+                Value::Int(((m - 1) / 3 + 1) as i64),
+            ]))
+            .unwrap();
+    }
+    db.add(date_dim);
+
+    let mut item = Relation::empty(schema("item"));
+    for k in 0..n_items {
+        item.push(Tuple::new(vec![
+            Value::Int(k as i64),
+            Value::str(format!("Brand#{}", rng.gen_range(1..12))),
+            Value::str(CATEGORIES[rng.gen_range(0..CATEGORIES.len())]),
+            Value::str(CLASSES[rng.gen_range(0..CLASSES.len())]),
+            Value::str(["red", "green", "blue", "bisque", "rosy"][rng.gen_range(0..5)]),
+            Value::Float((rng.gen_range(100..20_000) as f64) / 100.0),
+            Value::Int(rng.gen_range(1..100)),
+        ]))
+        .unwrap();
+    }
+    db.add(item);
+
+    let mut addr = Relation::empty(schema("customer_address"));
+    for k in 0..n_addr {
+        addr.push(Tuple::new(vec![
+            Value::Int(k as i64),
+            Value::str(STATES[rng.gen_range(0..STATES.len())]),
+            Value::Int(rng.gen_range(-8..-4)),
+        ]))
+        .unwrap();
+    }
+    db.add(addr);
+
+    let mut demo = Relation::empty(schema("customer_demographics"));
+    for k in 0..n_demo {
+        demo.push(Tuple::new(vec![
+            Value::Int(k as i64),
+            Value::str(GENDERS[rng.gen_range(0..GENDERS.len())]),
+            Value::str(MARITAL[rng.gen_range(0..MARITAL.len())]),
+            Value::str(EDUCATION[rng.gen_range(0..EDUCATION.len())]),
+        ]))
+        .unwrap();
+    }
+    db.add(demo);
+
+    let mut cust = Relation::empty(schema("customer_dim"));
+    for k in 0..n_cust {
+        cust.push(Tuple::new(vec![
+            Value::Int(k as i64),
+            Value::Int(rng.gen_range(0..n_addr) as i64),
+            Value::Int(rng.gen_range(0..n_demo) as i64),
+            Value::str(format!("Customer#{k:06}")),
+            Value::Int(rng.gen_range(1930..2000)),
+        ]))
+        .unwrap();
+    }
+    db.add(cust);
+
+    let mut store = Relation::empty(schema("store"));
+    for k in 0..n_store {
+        store
+            .push(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::str(STATES[rng.gen_range(0..STATES.len())]),
+                Value::Int(rng.gen_range(1..11)),
+            ]))
+            .unwrap();
+    }
+    db.add(store);
+
+    let mut ss = Relation::empty(schema("store_sales"));
+    for _ in 0..n_ss {
+        let price = (rng.gen_range(100..30_000) as f64) / 100.0;
+        ss.push(Tuple::new(vec![
+            Value::Int(rng.gen_range(0..n_dates) as i64),
+            {
+                let k = skewed_key(&mut rng, n_items);
+                nullable(&mut rng, k)
+            },
+            {
+                let k = skewed_key(&mut rng, n_cust);
+                nullable(&mut rng, k)
+            },
+            Value::Int(rng.gen_range(0..n_store) as i64),
+            Value::Int(rng.gen_range(1..100)),
+            Value::Float(price),
+            Value::Float(price * (rng.gen_range(-30..60) as f64) / 100.0),
+        ]))
+        .unwrap();
+    }
+    db.add(ss);
+
+    let mut cs = Relation::empty(schema("catalog_sales"));
+    for _ in 0..n_cs {
+        cs.push(Tuple::new(vec![
+            Value::Int(rng.gen_range(0..n_dates) as i64),
+            {
+                let k = skewed_key(&mut rng, n_items);
+                nullable(&mut rng, k)
+            },
+            {
+                let k = skewed_key(&mut rng, n_cust);
+                nullable(&mut rng, k)
+            },
+            Value::Int(rng.gen_range(1..50)),
+            Value::Float((rng.gen_range(100..25_000) as f64) / 100.0),
+        ]))
+        .unwrap();
+    }
+    db.add(cs);
+
+    let mut ws = Relation::empty(schema("web_sales"));
+    for _ in 0..n_ws {
+        ws.push(Tuple::new(vec![
+            Value::Int(rng.gen_range(0..n_dates) as i64),
+            {
+                let k = skewed_key(&mut rng, n_items);
+                nullable(&mut rng, k)
+            },
+            {
+                let k = skewed_key(&mut rng, n_cust);
+                nullable(&mut rng, k)
+            },
+            Value::Int(rng.gen_range(1..30)),
+            Value::Float((rng.gen_range(100..25_000) as f64) / 100.0),
+        ]))
+        .unwrap();
+    }
+    db.add(ws);
+
+    db
+}
+
+/// The TPC-DS-shaped query suite: 20 queries covering the paper's classes
+/// (3 no-agg, 7 local, 6 global, 4 scalar; 3 with correlated subqueries).
+pub fn queries() -> Vec<BenchQuery> {
+    use AggClass::*;
+    vec![
+        // ---- no aggregation (paper: q37, q82, q84) -------------------------
+        BenchQuery::new("d_q37", "TPC-DS q37 (item availability probe)", NoAgg, false,
+            "SELECT i.i_itemkey, i.i_brand, i.i_price FROM item i, store_sales ss, date_dim d \
+             WHERE i.i_itemkey = ss.ss_itemkey AND ss.ss_datekey = d.d_datekey \
+             AND d.d_year = 2000 AND d.d_moy = 3 AND i.i_price BETWEEN 50 AND 80 \
+             AND i.i_manufact_id IN (1, 2, 3, 4)"),
+        BenchQuery::new("d_q82", "TPC-DS q82 (items sold in window)", NoAgg, false,
+            "SELECT i.i_itemkey, i.i_category FROM item i, web_sales ws, date_dim d \
+             WHERE i.i_itemkey = ws.ws_itemkey AND ws.ws_datekey = d.d_datekey \
+             AND d.d_date BETWEEN DATE '2000-05-01' AND DATE '2000-07-01' \
+             AND i.i_price BETWEEN 20 AND 35"),
+        BenchQuery::new("d_q84", "TPC-DS q84 (customer demographics lookup)", NoAgg, false,
+            "SELECT c.c_name, cd.cd_education FROM customer_dim c, customer_address ca, \
+             customer_demographics cd \
+             WHERE c.c_addrkey = ca.ca_addrkey AND c.c_demokey = cd.cd_demokey \
+             AND ca.ca_state = 'CA' AND cd.cd_gender = 'F'"),
+        // ---- local aggregation (paper: q7, q12, q15, q50, q98, q56, q3) ----
+        BenchQuery::new("d_q7", "TPC-DS q7 (average sales per item)", Local, false,
+            "SELECT i.i_itemkey, AVG(ss.ss_quantity) AS agg1, AVG(ss.ss_price) AS agg2 \
+             FROM store_sales ss, customer_demographics cd, customer_dim c, date_dim d, item i \
+             WHERE ss.ss_datekey = d.d_datekey AND ss.ss_itemkey = i.i_itemkey \
+             AND ss.ss_custkey = c.c_custkey AND c.c_demokey = cd.cd_demokey \
+             AND cd.cd_gender = 'F' AND cd.cd_marital = 'S' AND d.d_year = 2000 \
+             GROUP BY i.i_itemkey"),
+        BenchQuery::new("d_q12", "TPC-DS q12 (web revenue by item)", Local, false,
+            "SELECT i.i_itemkey, SUM(ws.ws_price) AS itemrevenue FROM web_sales ws, item i, date_dim d \
+             WHERE ws.ws_itemkey = i.i_itemkey AND i.i_category IN ('Books', 'Home', 'Sports') \
+             AND ws.ws_datekey = d.d_datekey \
+             AND d.d_date BETWEEN DATE '1999-02-22' AND DATE '1999-03-24' \
+             GROUP BY i.i_itemkey"),
+        BenchQuery::new("d_q15", "TPC-DS q15 (catalog sales by state)", Local, false,
+            "SELECT ca.ca_state, SUM(cs.cs_price) AS total FROM catalog_sales cs, customer_dim c, \
+             customer_address ca, date_dim d \
+             WHERE cs.cs_custkey = c.c_custkey AND c.c_addrkey = ca.ca_addrkey \
+             AND cs.cs_datekey = d.d_datekey AND d.d_qoy = 1 AND d.d_year = 2000 \
+             GROUP BY ca.ca_state"),
+        BenchQuery::new("d_q50", "TPC-DS q50 (store sales by store state)", Local, false,
+            "SELECT st.st_state, COUNT(*) AS cnt, SUM(ss.ss_profit) AS profit \
+             FROM store_sales ss, store st, date_dim d \
+             WHERE ss.ss_storekey = st.st_storekey AND ss.ss_datekey = d.d_datekey \
+             AND d.d_year = 2001 GROUP BY st.st_state"),
+        BenchQuery::new("d_q98", "TPC-DS q98 (revenue by item class)", Local, false,
+            "SELECT i.i_class, SUM(ss.ss_price) AS revenue FROM store_sales ss, item i, date_dim d \
+             WHERE ss.ss_itemkey = i.i_itemkey AND ss.ss_datekey = d.d_datekey \
+             AND i.i_category = 'Music' AND d.d_date BETWEEN DATE '1999-01-01' AND DATE '1999-03-01' \
+             GROUP BY i.i_class"),
+        BenchQuery::new("d_q56", "TPC-DS q56 (item revenue by color block)", Local, false,
+            "SELECT i.i_itemkey, SUM(ss.ss_price) AS total_sales \
+             FROM store_sales ss, item i, date_dim d, customer_dim c, customer_address ca \
+             WHERE ss.ss_itemkey = i.i_itemkey AND ss.ss_datekey = d.d_datekey \
+             AND ss.ss_custkey = c.c_custkey AND c.c_addrkey = ca.ca_addrkey \
+             AND i.i_color IN ('red', 'rosy') AND d.d_year = 1999 AND d.d_moy = 2 \
+             AND ca.ca_gmt = -5 GROUP BY i.i_itemkey"),
+        BenchQuery::new("d_q3", "TPC-DS q3 (brand revenue by year)", Local, true,
+            "SELECT i.i_brand, SUM(ss.ss_price) AS sum_agg FROM store_sales ss, item i, date_dim d \
+             WHERE ss.ss_itemkey = i.i_itemkey AND ss.ss_datekey = d.d_datekey \
+             AND i.i_manufact_id = 1 AND d.d_moy = 12 \
+             AND ss.ss_price > (SELECT AVG(ss2.ss_price) FROM store_sales ss2 \
+                                WHERE ss2.ss_itemkey = i.i_itemkey) \
+             GROUP BY i.i_brand"),
+        // ---- global aggregation (paper: q22, q45, q69, q79, q88, q27) ------
+        BenchQuery::new("d_q22", "TPC-DS q22 (inventory-style rollup)", Global, false,
+            "SELECT i.i_category, i.i_class, AVG(cs.cs_quantity) AS qoh \
+             FROM catalog_sales cs, item i, date_dim d \
+             WHERE cs.cs_itemkey = i.i_itemkey AND cs.cs_datekey = d.d_datekey \
+             AND d.d_year = 2000 GROUP BY i.i_category, i.i_class"),
+        BenchQuery::new("d_q45", "TPC-DS q45 (web sales by geography)", Global, false,
+            "SELECT ca.ca_state, ca.ca_gmt, SUM(ws.ws_price) AS total \
+             FROM web_sales ws, customer_dim c, customer_address ca, date_dim d \
+             WHERE ws.ws_custkey = c.c_custkey AND c.c_addrkey = ca.ca_addrkey \
+             AND ws.ws_datekey = d.d_datekey AND d.d_qoy = 2 AND d.d_year = 2000 \
+             GROUP BY ca.ca_state, ca.ca_gmt"),
+        BenchQuery::new("d_q69", "TPC-DS q69 (demographic profile)", Global, false,
+            "SELECT cd.cd_gender, cd.cd_marital, cd.cd_education, COUNT(*) AS cnt \
+             FROM customer_dim c, customer_address ca, customer_demographics cd, \
+             store_sales ss, date_dim d \
+             WHERE c.c_addrkey = ca.ca_addrkey AND c.c_demokey = cd.cd_demokey \
+             AND ss.ss_custkey = c.c_custkey AND ss.ss_datekey = d.d_datekey \
+             AND ca.ca_state IN ('CA', 'NY', 'TX') AND d.d_year = 2001 \
+             GROUP BY cd.cd_gender, cd.cd_marital, cd.cd_education"),
+        BenchQuery::new("d_q79", "TPC-DS q79 (customer/store profit)", Global, false,
+            "SELECT c.c_name, st.st_state, SUM(ss.ss_profit) AS profit \
+             FROM store_sales ss, customer_dim c, store st, date_dim d \
+             WHERE ss.ss_custkey = c.c_custkey AND ss.ss_storekey = st.st_storekey \
+             AND ss.ss_datekey = d.d_datekey AND d.d_moy = 11 \
+             GROUP BY c.c_name, st.st_state"),
+        BenchQuery::new("d_q88", "TPC-DS q88 (time-bucket counts, CASE)", Global, false,
+            "SELECT st.st_state, SUM(CASE WHEN ss.ss_quantity < 25 THEN 1 ELSE 0 END) AS small, \
+             SUM(CASE WHEN ss.ss_quantity >= 25 THEN 1 ELSE 0 END) AS big \
+             FROM store_sales ss, store st, date_dim d \
+             WHERE ss.ss_storekey = st.st_storekey AND ss.ss_datekey = d.d_datekey \
+             AND d.d_year = 1999 GROUP BY st.st_state, st.st_market"),
+        BenchQuery::new("d_q27", "TPC-DS q27 (item average by state)", Global, false,
+            "SELECT i.i_itemkey, st.st_state, AVG(ss.ss_quantity) AS agg1 \
+             FROM store_sales ss, customer_demographics cd, customer_dim c, date_dim d, \
+             store st, item i \
+             WHERE ss.ss_datekey = d.d_datekey AND ss.ss_itemkey = i.i_itemkey \
+             AND ss.ss_storekey = st.st_storekey AND ss.ss_custkey = c.c_custkey \
+             AND c.c_demokey = cd.cd_demokey AND cd.cd_gender = 'M' AND d.d_year = 2000 \
+             GROUP BY i.i_itemkey, st.st_state"),
+        // ---- scalar aggregation (paper: q32, q94, q96, q93) -----------------
+        BenchQuery::new("d_q32", "TPC-DS q32 (excess discount, correlated scalar)", Scalar, true,
+            "SELECT SUM(cs.cs_price) AS excess FROM catalog_sales cs, item i, date_dim d \
+             WHERE i.i_manufact_id = 2 AND i.i_itemkey = cs.cs_itemkey \
+             AND d.d_date BETWEEN DATE '2000-01-27' AND DATE '2000-04-27' \
+             AND d.d_datekey = cs.cs_datekey \
+             AND cs.cs_price > (SELECT AVG(cs2.cs_price) FROM catalog_sales cs2 \
+                                WHERE cs2.cs_itemkey = i.i_itemkey)"),
+        BenchQuery::new("d_q94", "TPC-DS q94 (cross-channel shoppers, EXISTS)", Scalar, true,
+            "SELECT COUNT(*) AS cnt, SUM(ws.ws_price) AS total \
+             FROM web_sales ws, customer_dim c, date_dim d \
+             WHERE ws.ws_custkey = c.c_custkey AND ws.ws_datekey = d.d_datekey \
+             AND d.d_year = 1999 \
+             AND EXISTS (SELECT cs.cs_custkey FROM catalog_sales cs \
+                         WHERE cs.cs_custkey = c.c_custkey AND cs.cs_quantity > 10)"),
+        BenchQuery::new("d_q96", "TPC-DS q96 (store traffic count)", Scalar, false,
+            "SELECT COUNT(*) AS cnt FROM store_sales ss, store st, date_dim d \
+             WHERE ss.ss_storekey = st.st_storekey AND ss.ss_datekey = d.d_datekey \
+             AND st.st_market BETWEEN 3 AND 7 AND d.d_moy = 6"),
+        BenchQuery::new("d_q93", "TPC-DS q93 (profit after filter)", Scalar, false,
+            "SELECT SUM(ss.ss_profit) AS total_profit FROM store_sales ss, item i \
+             WHERE ss.ss_itemkey = i.i_itemkey AND i.i_category = 'Electronics' \
+             AND ss.ss_quantity BETWEEN 10 AND 60"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_scale_sublinearly() {
+        let small = generate(0.04, 3);
+        let large = generate(0.16, 3);
+        let f = |db: &Database, n: &str| db.get(n).unwrap().len() as f64;
+        // Facts scale ~4x, dims ~2x.
+        let fact_ratio = f(&large, "store_sales") / f(&small, "store_sales");
+        let dim_ratio = f(&large, "item") / f(&small, "item");
+        assert!(fact_ratio > 3.0, "fact ratio {fact_ratio}");
+        assert!(dim_ratio < 2.6, "dim ratio {dim_ratio}");
+    }
+
+    #[test]
+    fn facts_contain_nulls() {
+        let db = generate(0.05, 5);
+        let ss = db.get("store_sales").unwrap();
+        let ik = ss.schema.column_index("ss_itemkey").unwrap();
+        assert!(ss.tuples.iter().any(|t| t.get(ik).is_null()), "no NULL fact keys generated");
+    }
+
+    #[test]
+    fn all_queries_parse_and_analyze() {
+        let schemas = schemas();
+        for q in queries() {
+            let stmt = vcsql_query::parse(q.sql)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", q.id));
+            let analyzed = vcsql_query::analyze::analyze(&stmt, &schemas)
+                .unwrap_or_else(|e| panic!("{} does not analyze: {e}", q.id));
+            assert_eq!(analyzed.agg_class, q.class, "{} classified differently", q.id);
+        }
+    }
+
+    #[test]
+    fn class_mix_matches_paper_story() {
+        let qs = queries();
+        let count = |c: AggClass| qs.iter().filter(|q| q.class == c).count();
+        assert_eq!(count(AggClass::NoAgg), 3);
+        assert!(count(AggClass::Local) >= 6);
+        assert!(count(AggClass::Global) >= 5);
+        assert!(count(AggClass::Scalar) >= 4);
+        assert!(qs.iter().filter(|q| q.correlated).count() >= 3);
+    }
+}

@@ -1,0 +1,500 @@
+//! TPC-H-style schema, generator and query suite.
+//!
+//! The 8-table 3NF schema of TPC-H with the columns the suite queries use.
+//! Generation mirrors dbgen's structure: fixed-size `region`/`nation`,
+//! everything else scaling linearly with the scale factor, uniform foreign
+//! keys, dates in 1992–1998. Strings include the comment-style columns that
+//! the TAG policy deliberately does *not* materialize.
+
+use crate::BenchQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcsql_query::AggClass;
+use vcsql_relation::schema::{Column, Schema};
+use vcsql_relation::{Database, DataType, Date, Relation, Tuple, Value};
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const COLORS: [&str; 10] =
+    ["green", "blue", "red", "metallic", "burnished", "floral", "ivory", "navy", "plum", "puff"];
+const TYPES: [&str; 6] =
+    ["PROMO BRUSHED", "STANDARD POLISHED", "SMALL PLATED", "MEDIUM BURNISHED", "ECONOMY ANODIZED", "LARGE BRUSHED"];
+const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+const LINE_STATUS: [&str; 2] = ["O", "F"];
+
+/// Row counts at `sf = 1.0` (≈ TPC-H SF-1 divided by 1000, keeping ratios).
+pub struct Counts {
+    pub supplier: usize,
+    pub customer: usize,
+    pub part: usize,
+    pub partsupp_per_part: usize,
+    pub orders: usize,
+    pub max_lines_per_order: usize,
+}
+
+impl Counts {
+    fn at(sf: f64) -> Counts {
+        let scale = |base: usize| ((base as f64 * sf).round() as usize).max(3);
+        Counts {
+            supplier: scale(100),
+            customer: scale(1500),
+            part: scale(2000),
+            partsupp_per_part: 4,
+            orders: scale(15_000),
+            max_lines_per_order: 7,
+        }
+    }
+}
+
+/// The TPC-H-style schemas (comment columns are `unindexed`: no attribute
+/// vertices, mirroring the paper's loading policy).
+pub fn schemas() -> Vec<Schema> {
+    vec![
+        Schema::new(
+            "region",
+            vec![Column::new("r_regionkey", DataType::Int), Column::new("r_name", DataType::Str)],
+        )
+        .with_primary_key(&["r_regionkey"]),
+        Schema::new(
+            "nation",
+            vec![
+                Column::new("n_nationkey", DataType::Int),
+                Column::new("n_regionkey", DataType::Int),
+                Column::new("n_name", DataType::Str),
+            ],
+        )
+        .with_primary_key(&["n_nationkey"])
+        .with_foreign_key(&["n_regionkey"], "region", &["r_regionkey"]),
+        Schema::new(
+            "supplier",
+            vec![
+                Column::new("s_suppkey", DataType::Int),
+                Column::new("s_nationkey", DataType::Int),
+                Column::new("s_name", DataType::Str),
+                Column::new("s_acctbal", DataType::Float),
+                Column::unindexed("s_comment", DataType::Str),
+            ],
+        )
+        .with_primary_key(&["s_suppkey"])
+        .with_foreign_key(&["s_nationkey"], "nation", &["n_nationkey"]),
+        Schema::new(
+            "customer",
+            vec![
+                Column::new("c_custkey", DataType::Int),
+                Column::new("c_nationkey", DataType::Int),
+                Column::new("c_name", DataType::Str),
+                Column::new("c_acctbal", DataType::Float),
+                Column::new("c_mktsegment", DataType::Str),
+                Column::unindexed("c_comment", DataType::Str),
+            ],
+        )
+        .with_primary_key(&["c_custkey"])
+        .with_foreign_key(&["c_nationkey"], "nation", &["n_nationkey"]),
+        Schema::new(
+            "part",
+            vec![
+                Column::new("p_partkey", DataType::Int),
+                Column::new("p_name", DataType::Str),
+                Column::new("p_brand", DataType::Str),
+                Column::new("p_type", DataType::Str),
+                Column::new("p_size", DataType::Int),
+                Column::new("p_container", DataType::Str),
+                Column::new("p_retailprice", DataType::Float),
+            ],
+        )
+        .with_primary_key(&["p_partkey"]),
+        Schema::new(
+            "partsupp",
+            vec![
+                Column::new("ps_partkey", DataType::Int),
+                Column::new("ps_suppkey", DataType::Int),
+                Column::new("ps_availqty", DataType::Int),
+                Column::new("ps_supplycost", DataType::Float),
+            ],
+        )
+        .with_foreign_key(&["ps_partkey"], "part", &["p_partkey"])
+        .with_foreign_key(&["ps_suppkey"], "supplier", &["s_suppkey"]),
+        Schema::new(
+            "orders",
+            vec![
+                Column::new("o_orderkey", DataType::Int),
+                Column::new("o_custkey", DataType::Int),
+                Column::new("o_orderdate", DataType::Date),
+                Column::new("o_totalprice", DataType::Float),
+                Column::new("o_orderpriority", DataType::Str),
+                Column::new("o_shippriority", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["o_orderkey"])
+        .with_foreign_key(&["o_custkey"], "customer", &["c_custkey"]),
+        Schema::new(
+            "lineitem",
+            vec![
+                Column::new("l_orderkey", DataType::Int),
+                Column::new("l_partkey", DataType::Int),
+                Column::new("l_suppkey", DataType::Int),
+                Column::new("l_quantity", DataType::Int),
+                Column::new("l_extendedprice", DataType::Float),
+                Column::new("l_discount", DataType::Float),
+                Column::new("l_tax", DataType::Float),
+                Column::new("l_returnflag", DataType::Str),
+                Column::new("l_linestatus", DataType::Str),
+                Column::new("l_shipdate", DataType::Date),
+                Column::new("l_commitdate", DataType::Date),
+                Column::new("l_receiptdate", DataType::Date),
+                Column::new("l_shipmode", DataType::Str),
+            ],
+        )
+        .with_foreign_key(&["l_orderkey"], "orders", &["o_orderkey"])
+        .with_foreign_key(&["l_partkey"], "part", &["p_partkey"])
+        .with_foreign_key(&["l_suppkey"], "supplier", &["s_suppkey"]),
+    ]
+}
+
+fn date_between(rng: &mut StdRng, lo: Date, hi: Date) -> Date {
+    Date(rng.gen_range(lo.0..=hi.0))
+}
+
+/// Generate a TPC-H-style database at the given scale factor.
+pub fn generate(sf: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let counts = Counts::at(sf);
+    let schemas = schemas();
+    let schema = |name: &str| schemas.iter().find(|s| s.name == name).unwrap().clone();
+    let mut db = Database::new();
+
+    // region / nation: fixed.
+    let mut region = Relation::empty(schema("region"));
+    for (k, name) in REGIONS.iter().enumerate() {
+        region.push(Tuple::new(vec![Value::Int(k as i64), Value::str(name)])).unwrap();
+    }
+    db.add(region);
+    let mut nation = Relation::empty(schema("nation"));
+    for (k, (name, rk)) in NATIONS.iter().enumerate() {
+        nation
+            .push(Tuple::new(vec![Value::Int(k as i64), Value::Int(*rk), Value::str(name)]))
+            .unwrap();
+    }
+    db.add(nation);
+
+    // supplier.
+    let mut supplier = Relation::empty(schema("supplier"));
+    for k in 0..counts.supplier {
+        supplier
+            .push(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::Int(rng.gen_range(0..25)),
+                Value::str(format!("Supplier#{k:06}")),
+                Value::Float((rng.gen_range(-99_999..=999_999) as f64) / 100.0),
+                Value::str(lorem(&mut rng)),
+            ]))
+            .unwrap();
+    }
+    db.add(supplier);
+
+    // customer.
+    let mut customer = Relation::empty(schema("customer"));
+    for k in 0..counts.customer {
+        customer
+            .push(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::Int(rng.gen_range(0..25)),
+                Value::str(format!("Customer#{k:06}")),
+                Value::Float((rng.gen_range(-99_999..=999_999) as f64) / 100.0),
+                Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                Value::str(lorem(&mut rng)),
+            ]))
+            .unwrap();
+    }
+    db.add(customer);
+
+    // part.
+    let mut part = Relation::empty(schema("part"));
+    for k in 0..counts.part {
+        let c1 = COLORS[rng.gen_range(0..COLORS.len())];
+        let c2 = COLORS[rng.gen_range(0..COLORS.len())];
+        part.push(Tuple::new(vec![
+            Value::Int(k as i64),
+            Value::str(format!("{c1} {c2} part")),
+            Value::str(format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+            Value::str(TYPES[rng.gen_range(0..TYPES.len())]),
+            Value::Int(rng.gen_range(1..51)),
+            Value::str(["SM BOX", "MED BAG", "LG CASE", "JUMBO DRUM"][rng.gen_range(0..4)]),
+            Value::Float(900.0 + (k % 200) as f64),
+        ]))
+        .unwrap();
+    }
+    db.add(part);
+
+    // partsupp: each part supplied by several suppliers.
+    let mut partsupp = Relation::empty(schema("partsupp"));
+    for pk in 0..counts.part {
+        for s in 0..counts.partsupp_per_part {
+            let sk = (pk * 7 + s * 13 + rng.gen_range(0..counts.supplier)) % counts.supplier;
+            partsupp
+                .push(Tuple::new(vec![
+                    Value::Int(pk as i64),
+                    Value::Int(sk as i64),
+                    Value::Int(rng.gen_range(1..10_000)),
+                    Value::Float((rng.gen_range(100..100_000) as f64) / 100.0),
+                ]))
+                .unwrap();
+        }
+    }
+    db.add(partsupp);
+
+    // orders + lineitem.
+    let lo = Date::from_ymd(1992, 1, 1);
+    let hi = Date::from_ymd(1998, 8, 2);
+    let mut orders = Relation::empty(schema("orders"));
+    let mut lineitem = Relation::empty(schema("lineitem"));
+    for ok in 0..counts.orders {
+        let odate = date_between(&mut rng, lo, hi);
+        let nlines = rng.gen_range(1..=counts.max_lines_per_order);
+        let mut total = 0.0;
+        let mut lines = Vec::with_capacity(nlines);
+        for _ in 0..nlines {
+            let qty = rng.gen_range(1..=50);
+            let price = (rng.gen_range(90_000..200_000) as f64) / 100.0;
+            let discount = (rng.gen_range(0..=10) as f64) / 100.0;
+            let tax = (rng.gen_range(0..=8) as f64) / 100.0;
+            let ship = odate.add_days(rng.gen_range(1..=121));
+            let commit = odate.add_days(rng.gen_range(30..=90));
+            let receipt = ship.add_days(rng.gen_range(1..=30));
+            total += price * qty as f64;
+            lines.push(Tuple::new(vec![
+                Value::Int(ok as i64),
+                Value::Int(rng.gen_range(0..counts.part) as i64),
+                Value::Int(rng.gen_range(0..counts.supplier) as i64),
+                Value::Int(qty),
+                Value::Float(price),
+                Value::Float(discount),
+                Value::Float(tax),
+                Value::str(RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())]),
+                Value::str(LINE_STATUS[rng.gen_range(0..LINE_STATUS.len())]),
+                Value::Date(ship),
+                Value::Date(commit),
+                Value::Date(receipt),
+                Value::str(SHIPMODES[rng.gen_range(0..SHIPMODES.len())]),
+            ]));
+        }
+        orders
+            .push(Tuple::new(vec![
+                Value::Int(ok as i64),
+                Value::Int(rng.gen_range(0..counts.customer) as i64),
+                Value::Date(odate),
+                Value::Float(total),
+                Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+                Value::Int(0),
+            ]))
+            .unwrap();
+        for l in lines {
+            lineitem.push(l).unwrap();
+        }
+    }
+    db.add(orders);
+    db.add(lineitem);
+    db
+}
+
+fn lorem(rng: &mut StdRng) -> String {
+    const WORDS: [&str; 8] =
+        ["carefully", "final", "deposits", "sleep", "furiously", "ironic", "requests", "pending"];
+    let n = rng.gen_range(8..16);
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s
+}
+
+/// The TPC-H-shaped query suite. Each query is written in the supported SQL
+/// subset (no ORDER BY/LIMIT — excluded by the paper too) and avoids
+/// self-joins in a single block (see DESIGN.md).
+pub fn queries() -> Vec<BenchQuery> {
+    use AggClass::*;
+    vec![
+        BenchQuery::new("q1", "TPC-H q1 (pricing summary)", Global, false,
+            "SELECT l.l_returnflag, l.l_linestatus, SUM(l.l_quantity) AS sum_qty, \
+             SUM(l.l_extendedprice) AS sum_base, \
+             SUM(l.l_extendedprice * (1 - l.l_discount)) AS sum_disc, \
+             AVG(l.l_quantity) AS avg_qty, COUNT(*) AS count_order \
+             FROM lineitem l WHERE l.l_shipdate <= DATE '1998-09-02' \
+             GROUP BY l.l_returnflag, l.l_linestatus"),
+        BenchQuery::new("q2", "TPC-H q2 (min-cost supplier)", NoAgg, true,
+            "SELECT s.s_name, p.p_partkey FROM part p, partsupp ps, supplier s, nation n, region r \
+             WHERE p.p_partkey = ps.ps_partkey AND ps.ps_suppkey = s.s_suppkey \
+             AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey \
+             AND r.r_name = 'EUROPE' AND p.p_size = 15 \
+             AND ps.ps_supplycost <= (SELECT MIN(ps2.ps_supplycost) FROM partsupp ps2 \
+                                      WHERE ps2.ps_partkey = p.p_partkey)"),
+        BenchQuery::new("q3", "TPC-H q3 (shipping priority)", Local, false,
+            "SELECT o.o_orderkey, o.o_orderdate, o.o_shippriority, \
+             SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+             FROM customer c, orders o, lineitem l \
+             WHERE c.c_mktsegment = 'BUILDING' AND c.c_custkey = o.o_custkey \
+             AND l.l_orderkey = o.o_orderkey AND o.o_orderdate < DATE '1995-03-15' \
+             AND l.l_shipdate > DATE '1995-03-15' \
+             GROUP BY o.o_orderkey, o.o_orderdate, o.o_shippriority"),
+        BenchQuery::new("q4", "TPC-H q4 (order priority, EXISTS)", Local, true,
+            "SELECT o.o_orderpriority, COUNT(*) AS order_count FROM orders o \
+             WHERE o.o_orderdate >= DATE '1995-07-01' AND o.o_orderdate < DATE '1995-10-01' \
+             AND EXISTS (SELECT l.l_orderkey FROM lineitem l \
+                         WHERE l.l_orderkey = o.o_orderkey AND l.l_commitdate < l.l_receiptdate) \
+             GROUP BY o.o_orderpriority"),
+        BenchQuery::new("q5", "TPC-H q5 (local supplier volume, 5-way cycle)", Local, false,
+            "SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+             FROM customer c, orders o, lineitem l, supplier s, nation n, region r \
+             WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+             AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey \
+             AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey \
+             AND r.r_name = 'ASIA' AND o.o_orderdate >= DATE '1994-01-01' \
+             AND o.o_orderdate < DATE '1995-01-01' GROUP BY n.n_name"),
+        BenchQuery::new("q6", "TPC-H q6 (forecast revenue)", Scalar, false,
+            "SELECT SUM(l.l_extendedprice * l.l_discount) AS revenue FROM lineitem l \
+             WHERE l.l_shipdate >= DATE '1994-01-01' AND l.l_shipdate < DATE '1995-01-01' \
+             AND l.l_discount BETWEEN 0.05 AND 0.07 AND l.l_quantity < 24"),
+        BenchQuery::new("q7", "TPC-H q7 (volume shipping, reshaped single-nation)", Global, false,
+            "SELECT n.n_name, YEAR(l.l_shipdate) AS l_year, \
+             SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+             FROM supplier s, lineitem l, orders o, nation n \
+             WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey \
+             AND s.s_nationkey = n.n_nationkey \
+             AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' \
+             GROUP BY n.n_name, l.l_shipdate"),
+        BenchQuery::new("q10", "TPC-H q10 (returned items)", Local, false,
+            "SELECT c.c_custkey, c.c_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+             FROM customer c, orders o, lineitem l, nation n \
+             WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+             AND o.o_orderdate >= DATE '1993-10-01' AND o.o_orderdate < DATE '1994-01-01' \
+             AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey \
+             GROUP BY c.c_custkey, c.c_name"),
+        BenchQuery::new("q12", "TPC-H q12 (shipping modes, CASE sums)", Local, false,
+            "SELECT l.l_shipmode, \
+             SUM(CASE WHEN o.o_orderpriority = '1-URGENT' OR o.o_orderpriority = '2-HIGH' \
+                 THEN 1 ELSE 0 END) AS high_line_count, \
+             SUM(CASE WHEN o.o_orderpriority <> '1-URGENT' AND o.o_orderpriority <> '2-HIGH' \
+                 THEN 1 ELSE 0 END) AS low_line_count \
+             FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey \
+             AND l.l_shipmode IN ('MAIL', 'SHIP') AND l.l_commitdate < l.l_receiptdate \
+             AND l.l_shipdate < l.l_commitdate AND l.l_receiptdate >= DATE '1994-01-01' \
+             AND l.l_receiptdate < DATE '1995-01-01' GROUP BY l.l_shipmode"),
+        BenchQuery::new("q14", "TPC-H q14 (promotion effect)", Scalar, false,
+            "SELECT SUM(CASE WHEN p.p_type LIKE 'PROMO%' \
+                 THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) AS promo_revenue, \
+             SUM(l.l_extendedprice * (1 - l.l_discount)) AS total_revenue \
+             FROM lineitem l, part p WHERE l.l_partkey = p.p_partkey \
+             AND l.l_shipdate >= DATE '1995-09-01' AND l.l_shipdate < DATE '1995-10-01'"),
+        BenchQuery::new("q16", "TPC-H q16 (parts/supplier relationship)", Global, false,
+            "SELECT p.p_brand, p.p_type, p.p_size, COUNT(ps.ps_suppkey) AS supplier_cnt \
+             FROM partsupp ps, part p WHERE p.p_partkey = ps.ps_partkey \
+             AND p.p_brand <> 'Brand#45' AND p.p_size IN (1, 4, 9, 14, 23, 36, 45, 49) \
+             GROUP BY p.p_brand, p.p_type, p.p_size"),
+        BenchQuery::new("q17", "TPC-H q17 (small-quantity orders, correlated scalar)", Scalar, true,
+            "SELECT SUM(l.l_extendedprice) AS total FROM lineitem l, part p \
+             WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#23' \
+             AND p.p_container = 'MED BAG' \
+             AND 5 * l.l_quantity < (SELECT SUM(l2.l_quantity) FROM lineitem l2 \
+                                     WHERE l2.l_partkey = p.p_partkey)"),
+        BenchQuery::new("q18", "TPC-H q18 (large-volume customers, IN + HAVING)", Local, false,
+            "SELECT c.c_custkey, c.c_name, SUM(l.l_quantity) AS total_qty \
+             FROM customer c, orders o, lineitem l \
+             WHERE o.o_orderkey IN (SELECT l2.l_orderkey FROM lineitem l2 \
+                                    GROUP BY l2.l_orderkey HAVING SUM(l2.l_quantity) > 180) \
+             AND c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey \
+             GROUP BY c.c_custkey, c.c_name"),
+        BenchQuery::new("q19", "TPC-H q19 (discounted revenue, OR-of-conjunctions)", Scalar, false,
+            "SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue \
+             FROM lineitem l, part p WHERE p.p_partkey = l.l_partkey \
+             AND ((p.p_container = 'SM BOX' AND l.l_quantity BETWEEN 1 AND 11) \
+                  OR (p.p_container = 'MED BAG' AND l.l_quantity BETWEEN 10 AND 20) \
+                  OR (p.p_container = 'LG CASE' AND l.l_quantity BETWEEN 20 AND 30)) \
+             AND l.l_shipmode IN ('AIR', 'REG AIR')"),
+        BenchQuery::new("q22", "TPC-H q22 (global sales opportunity, scalar + NOT EXISTS)", Local, true,
+            "SELECT c.c_mktsegment, COUNT(*) AS numcust, SUM(c.c_acctbal) AS totacctbal \
+             FROM customer c \
+             WHERE c.c_acctbal > (SELECT AVG(c2.c_acctbal) FROM customer c2 \
+                                  WHERE c2.c_acctbal > 0.0) \
+             AND NOT EXISTS (SELECT o.o_orderkey FROM orders o WHERE o.o_custkey = c.c_custkey) \
+             GROUP BY c.c_mktsegment"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_scales_and_is_deterministic() {
+        let a = generate(0.02, 7);
+        let b = generate(0.02, 7);
+        assert_eq!(a.total_tuples(), b.total_tuples());
+        for rel in a.relations() {
+            assert!(b.get(rel.name()).unwrap().same_bag(rel), "{} differs", rel.name());
+        }
+        let big = generate(0.05, 7);
+        assert!(big.get("lineitem").unwrap().len() > a.get("lineitem").unwrap().len());
+        assert_eq!(a.get("region").unwrap().len(), 5);
+        assert_eq!(a.get("nation").unwrap().len(), 25);
+    }
+
+    #[test]
+    fn all_queries_parse_and_analyze() {
+        let schemas = schemas();
+        for q in queries() {
+            let stmt = vcsql_query::parse(q.sql)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", q.id));
+            let analyzed = vcsql_query::analyze::analyze(&stmt, &schemas)
+                .unwrap_or_else(|e| panic!("{} does not analyze: {e}", q.id));
+            assert_eq!(analyzed.agg_class, q.class, "{} classified differently", q.id);
+            assert_eq!(
+                !analyzed.subqueries.is_empty()
+                    && analyzed.subqueries.iter().any(|s| !s.correlations.is_empty()),
+                q.correlated,
+                "{} correlation flag mismatch",
+                q.id
+            );
+        }
+    }
+
+    #[test]
+    fn q5_is_the_cycle_query() {
+        let schemas = schemas();
+        let stmt = vcsql_query::parse(queries()[4].sql).unwrap();
+        let analyzed = vcsql_query::analyze::analyze(&stmt, &schemas).unwrap();
+        let dec = vcsql_query::gyo::decompose(analyzed.tables.len(), &analyzed.joins);
+        assert!(dec.cyclic, "q5 should have a cyclic join graph");
+    }
+}

@@ -1,0 +1,44 @@
+//! Data-warehouse analytics: run TPC-H-shaped queries on the vertex-centric
+//! executor and compare against the relational baseline — the paper's
+//! "comfort zone" experiment in miniature (Section 8.3).
+//!
+//! Run with: `cargo run --release --example warehouse_analytics`
+
+use vcsql::baseline::{execute as baseline, ExecConfig};
+use vcsql::bsp::EngineConfig;
+use vcsql::core::TagJoinExecutor;
+use vcsql::query::{analyze::analyze, parse};
+use vcsql::tag::TagGraph;
+use vcsql::workload::tpch;
+
+fn main() {
+    let db = tpch::generate(0.02, 42);
+    println!("TPC-H-style database: {} tuples total", db.total_tuples());
+    let tag = TagGraph::build(&db);
+    let exec = TagJoinExecutor::new(&tag, EngineConfig::default());
+
+    for q in tpch::queries() {
+        let analyzed = analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap();
+        let t0 = std::time::Instant::now();
+        let out = exec.execute(&analyzed).expect("tag-join runs");
+        let tag_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        let oracle = baseline(&analyzed, &db, ExecConfig::default()).expect("baseline runs");
+        let base_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            out.relation.same_bag_approx(&oracle, 1e-9),
+            "{}: engines disagree!",
+            q.id
+        );
+        println!(
+            "{:>4} ({:<42}) rows={:<5} supersteps={:<3} msgs={:<8} tag={:>7.2}ms row={:>7.2}ms",
+            q.id,
+            q.paper_ref,
+            out.relation.len(),
+            out.stats.supersteps,
+            out.stats.total_messages(),
+            tag_ms,
+            base_ms,
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # vcsql — vertex-centric parallel computation of SQL queries
+//!
+//! Facade crate for the workspace reproducing Smagulova & Deutsch,
+//! *Vertex-centric Parallel Computation of SQL Queries* (SIGMOD 2021).
+//!
+//! The pipeline, end to end:
+//!
+//! 1. Build or load a relational [`relation::Database`].
+//! 2. Encode it once, query-independently, as a Tuple-Attribute Graph with
+//!    [`tag::TagGraph::build`].
+//! 3. Parse SQL with [`query::parse`] and plan it (GYO join tree or GHD, TAG
+//!    plan, traversal steps).
+//! 4. Execute with [`core::TagJoinExecutor`] on the vertex-centric BSP engine
+//!    in [`bsp`], or with the reference relational engines in [`baseline`].
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the full system inventory.
+
+pub use vcsql_baseline as baseline;
+pub use vcsql_bsp as bsp;
+pub use vcsql_core as core;
+pub use vcsql_dist as dist;
+pub use vcsql_query as query;
+pub use vcsql_relation as relation;
+pub use vcsql_tag as tag;
+pub use vcsql_workload as workload;

@@ -1,0 +1,155 @@
+//! Property-based tests: on random databases and random join/filter/agg
+//! queries, the vertex-centric executor must agree with the relational
+//! baseline; TAG encoding must round-trip; incremental construction must
+//! equal bulk construction.
+
+use proptest::prelude::*;
+use vcsql::baseline::{execute as baseline, ExecConfig};
+use vcsql::bsp::EngineConfig;
+use vcsql::core::TagJoinExecutor;
+use vcsql::query::{analyze::analyze, parse};
+use vcsql::relation::schema::{Column, Schema};
+use vcsql::relation::{Database, DataType, Relation, Tuple, Value};
+use vcsql::tag::{MaterializePolicy, TagBuilder, TagGraph};
+
+/// A random database of `n` binary int tables t0(a,b), t1(a,b), ... with
+/// values in a small domain (to force join hits) and occasional NULLs.
+fn arb_db(n_tables: usize) -> impl Strategy<Value = Database> {
+    let table = prop::collection::vec((0i64..8, prop::option::of(0i64..8)), 0..25);
+    prop::collection::vec(table, n_tables..=n_tables).prop_map(|tables| {
+        let mut db = Database::new();
+        for (i, rows) in tables.into_iter().enumerate() {
+            let schema = Schema::new(
+                format!("t{i}"),
+                vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+            );
+            let mut rel = Relation::empty(schema);
+            for (a, b) in rows {
+                let b = b.map(Value::Int).unwrap_or(Value::Null);
+                rel.push(Tuple::new(vec![Value::Int(a), Value::Int(b.as_i64().unwrap_or(0)).clone()]))
+                    .ok();
+                let last = rel.tuples.len() - 1;
+                // Reintroduce NULLs directly (push validated the type).
+                if b.is_null() {
+                    rel.tuples[last] = Tuple::new(vec![Value::Int(a), Value::Null]);
+                }
+            }
+            db.add(rel);
+        }
+        db
+    })
+}
+
+/// Random chain query over the tables: t0.b = t1.a, t1.b = t2.a, ... with a
+/// random filter and optional aggregation.
+fn chain_sql(n: usize, filter_lit: i64, agg: bool) -> String {
+    let from: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+    let mut preds: Vec<String> = (0..n - 1).map(|i| format!("t{i}.b = t{}.a", i + 1)).collect();
+    preds.push(format!("t0.a <= {filter_lit}"));
+    if agg {
+        format!(
+            "SELECT t0.a, COUNT(*) AS cnt, SUM(t{}.b) AS s FROM {} WHERE {} GROUP BY t0.a",
+            n - 1,
+            from.join(", "),
+            preds.join(" AND ")
+        )
+    } else {
+        format!(
+            "SELECT t0.a, t{}.b FROM {} WHERE {}",
+            n - 1,
+            from.join(", "),
+            preds.join(" AND ")
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn tag_join_matches_baseline_on_random_chains(
+        db in arb_db(3),
+        filter in 0i64..8,
+        agg in any::<bool>(),
+        n in 2usize..=3,
+    ) {
+        let sql = chain_sql(n, filter, agg);
+        let tag = TagGraph::build(&db);
+        let analyzed = analyze(&parse(&sql).unwrap(), tag.schemas()).unwrap();
+        let expected = baseline(&analyzed, &db, ExecConfig::default()).unwrap();
+        let exec = TagJoinExecutor::new(&tag, EngineConfig::with_threads(2));
+        let got = exec.execute(&analyzed).unwrap();
+        prop_assert!(
+            got.relation.same_bag_approx(&expected, 1e-9),
+            "query `{sql}`\n tag rows {} vs baseline rows {}",
+            got.relation.len(),
+            expected.len()
+        );
+    }
+
+    #[test]
+    fn tag_roundtrip_on_random_databases(db in arb_db(2)) {
+        let tag = TagGraph::build(&db);
+        let decoded = tag.decode();
+        for rel in db.relations() {
+            prop_assert!(decoded.get(rel.name()).unwrap().same_bag(rel));
+        }
+    }
+
+    #[test]
+    fn incremental_build_equals_bulk(db in arb_db(2), delete_first in any::<bool>()) {
+        let bulk = TagGraph::build(&db);
+        let mut b = TagBuilder::new(MaterializePolicy::default());
+        for rel in db.relations() {
+            b.add_schema(rel.schema.clone());
+        }
+        let mut first_vertex = None;
+        for rel in db.relations() {
+            for t in &rel.tuples {
+                let v = b.insert_tuple(rel.name(), t.clone()).unwrap();
+                first_vertex.get_or_insert(v);
+            }
+        }
+        if delete_first {
+            if let Some(v) = first_vertex {
+                b.delete_tuple(v).unwrap();
+            }
+        }
+        let inc = b.build();
+        if !delete_first {
+            prop_assert_eq!(bulk.stats(), inc.stats());
+        }
+        // Decoded contents always match what was kept.
+        let decoded = inc.decode();
+        let mut expected_total = db.total_tuples();
+        if delete_first && expected_total > 0 {
+            expected_total -= 1;
+        }
+        prop_assert_eq!(decoded.total_tuples(), expected_total);
+    }
+
+    #[test]
+    fn two_way_join_matches_nested_loop(
+        db in arb_db(2),
+    ) {
+        use vcsql::core::twoway::{two_way_join, TwoWaySpec};
+        let tag = TagGraph::build(&db);
+        let spec = TwoWaySpec {
+            left: "t0", right: "t1",
+            on: vec![("b", "a")],
+            left_out: vec!["a"], right_out: vec!["b"],
+        };
+        let res = two_way_join(&tag, EngineConfig::sequential(), &spec).unwrap();
+        // Nested-loop oracle.
+        let (r, s) = (db.get("t0").unwrap(), db.get("t1").unwrap());
+        let mut expected = 0usize;
+        for x in &r.tuples {
+            for y in &s.tuples {
+                if !x.get(1).is_null() && x.get(1) == y.get(0) {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(res.expand().len(), expected);
+    }
+}

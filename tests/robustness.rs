@@ -1,0 +1,170 @@
+//! Robustness and invariant tests beyond the oracle suites: distributed
+//! execution consistency, empty relations, SQL display round-trips, thread
+//! count invariance, and failure reporting.
+
+use vcsql::baseline::{execute as baseline, ExecConfig};
+use vcsql::bsp::{EngineConfig, Partitioning};
+use vcsql::core::TagJoinExecutor;
+use vcsql::query::{analyze::analyze, parse};
+use vcsql::relation::schema::{Column, Schema};
+use vcsql::relation::{Database, DataType, Relation};
+use vcsql::tag::TagGraph;
+use vcsql::workload::{tpcds, tpch};
+
+/// Hash-partitioned execution must return the same bags as single-machine
+/// execution — partitioning only affects accounting, never results.
+#[test]
+fn distributed_results_equal_single_machine() {
+    let db = tpch::generate(0.01, 9);
+    let tag = TagGraph::build(&db);
+    for q in tpch::queries().iter().take(8) {
+        let a = analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap();
+        let single = TagJoinExecutor::new(&tag, EngineConfig::with_threads(2))
+            .execute(&a)
+            .unwrap();
+        let partitioned = TagJoinExecutor::new(&tag, EngineConfig::with_threads(2))
+            .with_partitioning(Partitioning::hash(tag.graph(), 6))
+            .execute(&a)
+            .unwrap();
+        assert!(
+            partitioned.relation.same_bag_approx(&single.relation, 1e-9),
+            "{}: partitioning changed the result",
+            q.id
+        );
+        // Network traffic is a subset of total traffic.
+        assert!(
+            partitioned.stats.totals.network_bytes <= partitioned.stats.total_bytes(),
+            "{}: network bytes exceed total bytes",
+            q.id
+        );
+        // Same messages either way: partitioning is pure accounting.
+        assert_eq!(
+            partitioned.stats.total_messages(),
+            single.stats.total_messages(),
+            "{}: message counts differ",
+            q.id
+        );
+    }
+}
+
+/// Thread count must never change results or message counts.
+#[test]
+fn thread_count_invariance_on_workload() {
+    let db = tpcds::generate(0.01, 13);
+    let tag = TagGraph::build(&db);
+    for q in tpcds::queries().iter().take(8) {
+        let a = analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap();
+        let one = TagJoinExecutor::new(&tag, EngineConfig::sequential()).execute(&a).unwrap();
+        let many = TagJoinExecutor::new(&tag, EngineConfig::with_threads(8)).execute(&a).unwrap();
+        assert!(one.relation.same_bag_approx(&many.relation, 1e-9), "{}", q.id);
+        assert_eq!(one.stats.total_messages(), many.stats.total_messages(), "{}", q.id);
+    }
+}
+
+/// Queries over empty relations: empty results (or a single NULL/zero row
+/// for scalar aggregates), never errors.
+#[test]
+fn empty_relations_are_queryable() {
+    let mut db = Database::new();
+    db.add(Relation::empty(
+        Schema::new(
+            "r",
+            vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+        )
+        .with_primary_key(&["a"]),
+    ));
+    db.add(Relation::empty(Schema::new(
+        "s",
+        vec![Column::new("b", DataType::Int), Column::new("c", DataType::Int)],
+    )));
+    let tag = TagGraph::build(&db);
+    let exec = TagJoinExecutor::new(&tag, EngineConfig::sequential());
+
+    let flat = exec.run_sql("SELECT r.a FROM r WHERE r.a > 0").unwrap();
+    assert!(flat.relation.is_empty());
+
+    let join = exec.run_sql("SELECT r.a, s.c FROM r, s WHERE r.b = s.b").unwrap();
+    assert!(join.relation.is_empty());
+
+    let scalar = exec.run_sql("SELECT COUNT(*) AS c, SUM(r.a) AS t FROM r").unwrap();
+    assert_eq!(scalar.relation.len(), 1);
+    assert_eq!(scalar.relation.tuples[0].get(0), &vcsql::relation::Value::Int(0));
+    assert_eq!(scalar.relation.tuples[0].get(1), &vcsql::relation::Value::Null);
+
+    let grouped = exec.run_sql("SELECT r.a, COUNT(*) AS c FROM r GROUP BY r.a").unwrap();
+    assert!(grouped.relation.is_empty());
+}
+
+/// Every workload query round-trips through its Display form: parse(sql)
+/// == parse(display(parse(sql))).
+#[test]
+fn workload_queries_roundtrip_through_display() {
+    for q in tpch::queries().iter().chain(tpcds::queries().iter()) {
+        let stmt = parse(q.sql).unwrap();
+        let reprinted = stmt.to_string();
+        let stmt2 = parse(&reprinted)
+            .unwrap_or_else(|e| panic!("{}: reprint does not parse: {e}\n{reprinted}", q.id));
+        assert_eq!(stmt, stmt2, "{}: round-trip changed the AST", q.id);
+    }
+}
+
+/// Both engines report clear errors instead of wrong results on malformed
+/// input.
+#[test]
+fn error_paths_are_clean() {
+    let db = tpch::generate(0.01, 3);
+    let tag = TagGraph::build(&db);
+    let exec = TagJoinExecutor::new(&tag, EngineConfig::sequential());
+
+    // Unknown relation / column.
+    assert!(exec.run_sql("SELECT x.a FROM missing x").is_err());
+    assert!(exec.run_sql("SELECT c.nope FROM customer c").is_err());
+    // Syntax error.
+    assert!(exec.run_sql("SELECT FROM WHERE").is_err());
+    // Aggregate misuse.
+    assert!(exec.run_sql("SELECT SUM(*) FROM customer c").is_err());
+    // Baseline mirrors the same failures at analysis time.
+    assert!(parse("SELECT c.c_name FROM customer c WHERE").is_err());
+}
+
+/// The baseline executors agree with each other across the full workload at
+/// a third seed (hash vs sort-merge cross-validation).
+#[test]
+fn baselines_cross_validate_third_seed() {
+    let db = tpch::generate(0.015, 99);
+    let tag = TagGraph::build(&db);
+    for q in tpch::queries() {
+        let a = analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap();
+        let h = baseline(&a, &db, ExecConfig { join: vcsql::baseline::JoinAlgo::Hash }).unwrap();
+        let m =
+            baseline(&a, &db, ExecConfig { join: vcsql::baseline::JoinAlgo::SortMerge }).unwrap();
+        assert!(h.same_bag_approx(&m, 1e-9), "{}", q.id);
+    }
+}
+
+/// Communication statistics are sane on every workload query: supersteps
+/// bounded by 3x plan edges + constants; bytes consistent with messages.
+#[test]
+fn stats_invariants() {
+    let db = tpch::generate(0.01, 21);
+    let tag = TagGraph::build(&db);
+    let exec = TagJoinExecutor::new(&tag, EngineConfig::sequential());
+    for q in tpch::queries() {
+        let a = analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap();
+        let out = exec.execute(&a).unwrap();
+        let n = a.tables.len() as u64;
+        // 3 passes x at most 2*(2n) traversal steps + aggregation/subquery
+        // rounds; a generous structural bound that still catches runaway
+        // loops.
+        assert!(
+            out.stats.supersteps <= 12 * n + 8 * (a.subqueries.len() as u64 + 1),
+            "{}: {} supersteps for {} tables",
+            q.id,
+            out.stats.supersteps,
+            n
+        );
+        if out.stats.total_messages() > 0 {
+            assert!(out.stats.total_bytes() > 0, "{}", q.id);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The flagship integration test: every query of both workload suites must
+//! produce identical result bags on the vertex-centric TAG-join executor and
+//! the relational baseline (hash-join *and* sort-merge-join variants).
+
+use vcsql::baseline::{execute as baseline, ExecConfig, JoinAlgo};
+use vcsql::bsp::EngineConfig;
+use vcsql::core::TagJoinExecutor;
+use vcsql::query::{analyze::analyze, parse};
+use vcsql::tag::TagGraph;
+use vcsql::workload::{tpcds, tpch, BenchQuery};
+use vcsql_relation::Database;
+
+fn run_suite(db: &Database, queries: &[BenchQuery]) {
+    let tag = TagGraph::build(db);
+    let exec = TagJoinExecutor::new(&tag, EngineConfig::with_threads(4));
+    for q in queries {
+        let stmt = parse(q.sql).unwrap_or_else(|e| panic!("{}: parse: {e}", q.id));
+        let analyzed =
+            analyze(&stmt, tag.schemas()).unwrap_or_else(|e| panic!("{}: analyze: {e}", q.id));
+
+        let hash = baseline(&analyzed, db, ExecConfig { join: JoinAlgo::Hash })
+            .unwrap_or_else(|e| panic!("{}: hash baseline: {e}", q.id));
+        let merge = baseline(&analyzed, db, ExecConfig { join: JoinAlgo::SortMerge })
+            .unwrap_or_else(|e| panic!("{}: sort-merge baseline: {e}", q.id));
+        assert!(hash.same_bag_approx(&merge, 1e-9), "{}: hash and sort-merge baselines disagree", q.id);
+
+        let got = exec.execute(&analyzed).unwrap_or_else(|e| panic!("{}: tag-join: {e}", q.id));
+        assert!(
+            got.relation.same_bag_approx(&hash, 1e-9),
+            "{}: tag-join disagrees with baselines\n  tag-join rows: {}\n  baseline rows: {}\n  tag-join sample: {:?}\n  baseline sample: {:?}",
+            q.id,
+            got.relation.len(),
+            hash.len(),
+            got.relation.tuples.iter().take(3).collect::<Vec<_>>(),
+            hash.tuples.iter().take(3).collect::<Vec<_>>(),
+        );
+    }
+}
+
+#[test]
+fn tpch_suite_equivalence() {
+    let db = tpch::generate(0.01, 42);
+    run_suite(&db, &tpch::queries());
+}
+
+#[test]
+fn tpcds_suite_equivalence() {
+    let db = tpcds::generate(0.01, 42);
+    run_suite(&db, &tpcds::queries());
+}
+
+#[test]
+fn tpch_suite_equivalence_second_seed() {
+    let db = tpch::generate(0.02, 7);
+    run_suite(&db, &tpch::queries());
+}
+
+#[test]
+fn tpcds_suite_equivalence_second_seed() {
+    let db = tpcds::generate(0.02, 7);
+    run_suite(&db, &tpcds::queries());
+}
