@@ -9,11 +9,11 @@
 //! identical bags.
 
 use crate::row::{self, ColId, Inter};
+use vcsql_query::analyze::{Analyzed, OutputItem, SubqueryPred};
 use vcsql_relation::agg::{Accumulator, AggFunc};
 use vcsql_relation::expr::{BoundExpr, CmpOp, ColRef, Expr};
 use vcsql_relation::schema::{Column, Schema};
-use vcsql_relation::{Database, DataType, RelError, Relation, Tuple, Value};
-use vcsql_query::analyze::{Analyzed, OutputItem, SubqueryPred};
+use vcsql_relation::{DataType, Database, RelError, Relation, Tuple, Value};
 
 type Result<T> = std::result::Result<T, RelError>;
 
@@ -156,16 +156,10 @@ pub fn finishing(a: &Analyzed, result: Inter) -> Result<Relation> {
 
     // Hash aggregation over group keys (a single global group when GROUP BY
     // is absent).
-    let key_pos: Vec<usize> = a
-        .group_by
-        .iter()
-        .map(|c| result.col_index(*c))
-        .collect::<Result<_>>()?;
-    let items: Vec<ProjItem> = a
-        .items
-        .iter()
-        .map(|item| ProjItem::bind(item, a, &result.cols))
-        .collect::<Result<_>>()?;
+    let key_pos: Vec<usize> =
+        a.group_by.iter().map(|c| result.col_index(*c)).collect::<Result<_>>()?;
+    let items: Vec<ProjItem> =
+        a.items.iter().map(|item| ProjItem::bind(item, a, &result.cols)).collect::<Result<_>>()?;
     let having_args: Vec<(AggFunc, Option<BoundExpr>, CmpOp, BoundExpr)> = a
         .having
         .iter()
@@ -314,11 +308,7 @@ fn build_output(a: &Analyzed, rows: Vec<Vec<Value>>) -> Result<Relation> {
     let names = a.output_names();
     let mut types: Vec<DataType> = Vec::with_capacity(names.len());
     for i in 0..names.len() {
-        let ty = rows
-            .iter()
-            .filter_map(|r| r[i].data_type())
-            .next()
-            .unwrap_or(DataType::Int);
+        let ty = rows.iter().filter_map(|r| r[i].data_type()).next().unwrap_or(DataType::Int);
         types.push(ty);
     }
     let schema = Schema::new(

@@ -40,10 +40,7 @@ impl HashIndex {
 
     /// Approximate footprint in bytes.
     pub fn deep_size(&self) -> usize {
-        self.map
-            .iter()
-            .map(|(k, v)| k.deep_size() + v.len() * 4 + 48)
-            .sum::<usize>()
+        self.map.iter().map(|(k, v)| k.deep_size() + v.len() * 4 + 48).sum::<usize>()
     }
 }
 

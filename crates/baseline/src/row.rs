@@ -265,10 +265,7 @@ mod tests {
     fn inter(t: usize, rows: Vec<Vec<i64>>) -> Inter {
         Inter {
             cols: (0..rows.first().map_or(0, Vec::len)).map(|c| (t, c)).collect(),
-            rows: rows
-                .into_iter()
-                .map(|r| r.into_iter().map(Value::Int).collect())
-                .collect(),
+            rows: rows.into_iter().map(|r| r.into_iter().map(Value::Int).collect()).collect(),
         }
     }
 
@@ -327,10 +324,7 @@ mod tests {
         let s = inter(1, vec![vec![2, 5], vec![2, 6], vec![9, 5]]);
         let t = inter(2, vec![vec![5], vec![7]]);
         // Edges bottom-up: (R child of S on a), (T child of S on b) then root S.
-        let edges = vec![
-            (0, 1, vec![((0, 0), (1, 0))]),
-            (2, 1, vec![((2, 0), (1, 1))]),
-        ];
+        let edges = vec![(0, 1, vec![((0, 0), (1, 0))]), (2, 1, vec![((2, 0), (1, 1))])];
         let reduced = yannakakis_reduce(vec![r, s, t], &edges).unwrap();
         assert_eq!(reduced[1].rows, vec![vec![Value::Int(2), Value::Int(5)]]);
         assert_eq!(reduced[0].rows, vec![vec![Value::Int(2)]]);

@@ -32,11 +32,9 @@ fn bench_suite(
     for q in queries.iter().filter(|q| pick.contains(&q.id)) {
         let a = prepare(loaded, q.sql).expect("analyzes");
         for sys in System::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(q.id, sys.name()),
-                &(&a, sys),
-                |b, (a, sys)| b.iter(|| run_system(loaded, *sys, a).unwrap()),
-            );
+            g.bench_with_input(BenchmarkId::new(q.id, sys.name()), &(&a, sys), |b, (a, sys)| {
+                b.iter(|| run_system(loaded, *sys, a).unwrap())
+            });
         }
     }
     g.finish();

@@ -81,7 +81,9 @@ const SEED: u64 = 42;
 /// E1 — Tables 1-2: loading times.
 fn loading(sfs: &[f64]) {
     println!("\n## E1 — Loading times (paper Tables 1-2), seconds\n");
-    for (name, genf) in [("TPC-H", tpch::generate as fn(f64, u64) -> Database), ("TPC-DS", tpcds::generate)] {
+    for (name, genf) in
+        [("TPC-H", tpch::generate as fn(f64, u64) -> Database), ("TPC-DS", tpcds::generate)]
+    {
         let mut rows = Vec::new();
         for &sf in sfs {
             let db = genf(sf, SEED);
@@ -125,7 +127,9 @@ fn loading(sfs: &[f64]) {
 /// E2 — Fig 14 / Table 15: loaded sizes.
 fn sizes(sfs: &[f64]) {
     println!("\n## E2 — Loaded data sizes (paper Fig 14 / Table 15)\n");
-    for (name, genf) in [("TPC-H", tpch::generate as fn(f64, u64) -> Database), ("TPC-DS", tpcds::generate)] {
+    for (name, genf) in
+        [("TPC-H", tpch::generate as fn(f64, u64) -> Database), ("TPC-DS", tpcds::generate)]
+    {
         let mut rows = Vec::new();
         for &sf in sfs {
             let db = genf(sf, SEED);
@@ -150,8 +154,16 @@ fn sizes(sfs: &[f64]) {
         println!(
             "{}",
             markdown_table(
-                &["SF", "row store + indexes", "columnar (dict)", "TAG graph", "tuple-v", "attr-v", "edges"]
-                    .map(String::from),
+                &[
+                    "SF",
+                    "row store + indexes",
+                    "columnar (dict)",
+                    "TAG graph",
+                    "tuple-v",
+                    "attr-v",
+                    "edges"
+                ]
+                .map(String::from),
                 &rows
             )
         );
@@ -159,12 +171,7 @@ fn sizes(sfs: &[f64]) {
 }
 
 /// E3/E4/E5/E6/E14 — per-query and aggregate runtimes across systems.
-fn runtimes(
-    name: &str,
-    sfs: &[f64],
-    genf: fn(f64, u64) -> Database,
-    queries: &[BenchQuery],
-) {
+fn runtimes(name: &str, sfs: &[f64], genf: fn(f64, u64) -> Database, queries: &[BenchQuery]) {
     println!("\n## {name} runtimes (paper Fig 13, Tables 8-14), ms\n");
     for &sf in sfs {
         let loaded = Loaded::new(genf(sf, SEED));
@@ -344,7 +351,9 @@ fn agg_breakdown(sf: f64) {
 /// E12 — Table 7: working-set bytes.
 fn memory(sf: f64) {
     println!("\n## E12 — Working-set bytes during execution (paper Table 7)\n");
-    for (name, genf) in [("TPC-H", tpch::generate as fn(f64, u64) -> Database), ("TPC-DS", tpcds::generate)] {
+    for (name, genf) in
+        [("TPC-H", tpch::generate as fn(f64, u64) -> Database), ("TPC-DS", tpcds::generate)]
+    {
         let db = genf(sf, SEED);
         let loaded = Loaded::new(genf(sf, SEED));
         let index_bytes: usize = db
@@ -376,16 +385,14 @@ fn distributed(sf: f64) {
         let (mut tag_total, mut spark_total) = (0u64, 0u64);
         let (mut tag_time, mut spark_time) = (0.0f64, 0.0f64);
         for q in &queries {
-            let a = vcsql_query::analyze::analyze(
-                &vcsql_query::parse(q.sql).unwrap(),
-                tag.schemas(),
-            )
-            .expect("analyzes");
-            let ((out, net), secs) =
-                time(|| tag_distributed(&tag, &a, spark.machines, EngineConfig::default()).unwrap());
+            let a =
+                vcsql_query::analyze::analyze(&vcsql_query::parse(q.sql).unwrap(), tag.schemas())
+                    .expect("analyzes");
+            let ((out, net), secs) = time(|| {
+                tag_distributed(&tag, &a, spark.machines, EngineConfig::default()).unwrap()
+            });
             let _ = out;
             let (spark_net, spark_secs) = time(|| spark.run(&a, &db).unwrap());
-            let (spark_net, _) = (spark_net, ());
             tag_total += net.network_bytes;
             spark_total += spark_net.network_bytes;
             // Modelled runtime: measured local work + network at 1 GB/s.
@@ -405,10 +412,7 @@ fn distributed(sf: f64) {
         println!("### {name} @ SF {sf} — network traffic per query\n");
         println!(
             "{}",
-            markdown_table(
-                &["query", "tag_join net", "spark_model net"].map(String::from),
-                &rows
-            )
+            markdown_table(&["query", "tag_join net", "spark_model net"].map(String::from), &rows)
         );
         println!(
             "aggregate modelled runtime: tag_join {:.3}s vs spark_model {:.3}s; \
@@ -475,14 +479,14 @@ fn triangle_theta() {
         let (count, stats) =
             cyclic::count_cycles(&tag, &names, Some(theta), EngineConfig::default()).unwrap();
         assert_eq!(count, vanilla_count, "θ={theta} changed the result");
-        let label =
-            if theta == 95 { format!("θ={theta} (≈√IN={:.0})", in_size.sqrt()) } else { format!("θ={theta}") };
+        let label = if theta == 95 {
+            format!("θ={theta} (≈√IN={:.0})", in_size.sqrt())
+        } else {
+            format!("θ={theta}")
+        };
         rows.push(vec![label, count.to_string(), stats.total_messages().to_string()]);
     }
-    println!(
-        "{}",
-        markdown_table(&["variant", "triangles", "messages"].map(String::from), &rows)
-    );
+    println!("{}", markdown_table(&["variant", "triangles", "messages"].map(String::from), &rows));
 }
 
 /// A4 — §5.2.2: no-reshuffle property vs join chain length.

@@ -197,13 +197,7 @@ mod tests {
             fn initial_active(&self, _: &Graph) -> Vec<VertexId> {
                 vec![0, 1]
             }
-            fn compute(
-                &self,
-                _s: u64,
-                ctx: &mut VertexCtx<'_, '_, (), ()>,
-                _g: &(),
-                _a: &mut (),
-            ) {
+            fn compute(&self, _s: u64, ctx: &mut VertexCtx<'_, '_, (), ()>, _g: &(), _a: &mut ()) {
                 let other = 1 - ctx.id();
                 ctx.send(other, ());
             }

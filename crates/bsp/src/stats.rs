@@ -75,8 +75,18 @@ mod tests {
     #[test]
     fn record_accumulates() {
         let mut r = RunStats::default();
-        r.record(StepStats { active_vertices: 3, messages: 5, message_bytes: 40, ..Default::default() });
-        r.record(StepStats { active_vertices: 2, messages: 1, message_bytes: 8, ..Default::default() });
+        r.record(StepStats {
+            active_vertices: 3,
+            messages: 5,
+            message_bytes: 40,
+            ..Default::default()
+        });
+        r.record(StepStats {
+            active_vertices: 2,
+            messages: 1,
+            message_bytes: 8,
+            ..Default::default()
+        });
         assert_eq!(r.supersteps, 2);
         assert_eq!(r.total_messages(), 6);
         assert_eq!(r.total_bytes(), 48);

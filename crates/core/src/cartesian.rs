@@ -66,12 +66,13 @@ pub fn cartesian_a(
     // One superstep: everyone contributes its row to the aggregator (the
     // "GA" vertex). The aggregator-side product is host work, mirroring the
     // sequential bottleneck the paper calls out.
-    let (_, gathered) = comp.superstep(|ctx: &mut VertexCtx<'_, '_, (), TagMsg>, g: &mut Gather| {
-        let side = if ctx.label() == ll { 0u16 } else { 1u16 };
-        if let Some(t) = own_table(tag, side, ctx.id()) {
-            g.0.push(t);
-        }
-    });
+    let (_, gathered) =
+        comp.superstep(|ctx: &mut VertexCtx<'_, '_, (), TagMsg>, g: &mut Gather| {
+            let side = if ctx.label() == ll { 0u16 } else { 1u16 };
+            if let Some(t) = own_table(tag, side, ctx.id()) {
+                g.0.push(t);
+            }
+        });
     let mut lrows: Option<Table> = None;
     let mut rrows: Option<Table> = None;
     for t in gathered.0 {
@@ -125,17 +126,18 @@ pub fn cartesian_b(
 
     // Superstep 3: every R vertex combines the received S rows with its own
     // row; the product stays distributed (gathered here for inspection).
-    let (_, gathered) = comp.superstep(|ctx: &mut VertexCtx<'_, '_, (), TagMsg>, g: &mut Gather| {
-        let mut incoming: Vec<&Table> = Vec::new();
-        for m in ctx.messages() {
-            if let TagMsg::Table(t) = m {
-                incoming.push(t);
+    let (_, gathered) =
+        comp.superstep(|ctx: &mut VertexCtx<'_, '_, (), TagMsg>, g: &mut Gather| {
+            let mut incoming: Vec<&Table> = Vec::new();
+            for m in ctx.messages() {
+                if let TagMsg::Table(t) = m {
+                    incoming.push(t);
+                }
             }
-        }
-        let Some(s_rows) = Table::union(incoming) else { return };
-        let Some(own) = own_table(tag, 0, ctx.id()) else { return };
-        g.0.push(own.natural_join(&s_rows));
-    });
+            let Some(s_rows) = Table::union(incoming) else { return };
+            let Some(own) = own_table(tag, 0, ctx.id()) else { return };
+            g.0.push(own.natural_join(&s_rows));
+        });
     let product = Table::union(gathered.0.iter()).unwrap_or_else(|| Table::empty(Vec::new()));
     let (_, stats) = comp.finish();
     Ok((product, stats))
@@ -145,7 +147,7 @@ pub fn cartesian_b(
 mod tests {
     use super::*;
     use vcsql_relation::schema::{Column, Schema};
-    use vcsql_relation::{Database, DataType, Relation, Tuple};
+    use vcsql_relation::{DataType, Database, Relation, Tuple};
 
     fn db(nl: usize, nr: usize) -> Database {
         let mut db = Database::new();

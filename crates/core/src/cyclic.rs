@@ -369,8 +369,7 @@ mod tests {
 
         for theta in [1, 4, 16] {
             let (wco, _) =
-                count_cycles(&tag, &name_refs, Some(theta), EngineConfig::with_threads(4))
-                    .unwrap();
+                count_cycles(&tag, &name_refs, Some(theta), EngineConfig::with_threads(4)).unwrap();
             assert_eq!(wco, expected, "heavy/light θ={theta} n={n}");
         }
     }
@@ -395,7 +394,7 @@ mod tests {
     fn empty_when_no_cycles() {
         // Layered construction that never closes a cycle.
         use vcsql_relation::schema::{Column, Schema};
-        use vcsql_relation::{Database, DataType, Relation, Tuple, Value};
+        use vcsql_relation::{DataType, Database, Relation, Tuple, Value};
         let mut db = Database::new();
         for (i, off) in [(0, 0), (1, 100), (2, 200)] {
             let mut rel = Relation::empty(Schema::new(
@@ -403,8 +402,7 @@ mod tests {
                 vec![Column::new("src", DataType::Int), Column::new("dst", DataType::Int)],
             ));
             for k in 0..10 {
-                rel.push(Tuple::new(vec![Value::Int(off + k), Value::Int(off + 100 + k)]))
-                    .unwrap();
+                rel.push(Tuple::new(vec![Value::Int(off + k), Value::Int(off + 100 + k)])).unwrap();
             }
             db.add(rel);
         }
@@ -418,7 +416,7 @@ mod tests {
     fn hub_instance_heavy_light_agrees() {
         // A hub-heavy instance where one value has a huge degree.
         use vcsql_relation::schema::{Column, Schema};
-        use vcsql_relation::{Database, DataType, Relation, Tuple, Value};
+        use vcsql_relation::{DataType, Database, Relation, Tuple, Value};
         let mut db = Database::new();
         let m = 40i64;
         for i in 0..3 {
@@ -437,8 +435,7 @@ mod tests {
         let expected = brute_force_cycles(&db, &names).unwrap();
         let theta = ((3 * 2 * m) as f64).sqrt() as usize;
         let (vanilla, _) = count_cycles(&tag, &names, None, EngineConfig::sequential()).unwrap();
-        let (wco, _) =
-            count_cycles(&tag, &names, Some(theta), EngineConfig::sequential()).unwrap();
+        let (wco, _) = count_cycles(&tag, &names, Some(theta), EngineConfig::sequential()).unwrap();
         assert_eq!(vanilla, expected);
         assert_eq!(wco, expected);
     }

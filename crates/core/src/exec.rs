@@ -296,15 +296,16 @@ impl<'t> TagJoinExecutor<'t> {
                 self.0.append(&mut other.0);
             }
         }
-        let (_, gathered) = comp.superstep(|ctx: &mut VertexCtx<'_, '_, St, TagMsg>, g: &mut Tables| {
-            record_marks(ctx, None);
-            if !passes_filter(ctx, q, tag) {
-                return;
-            }
-            if let Some(v) = compute_value(ctx, q, tag) {
-                g.0.push(v);
-            }
-        });
+        let (_, gathered) =
+            comp.superstep(|ctx: &mut VertexCtx<'_, '_, St, TagMsg>, g: &mut Tables| {
+                record_marks(ctx, None);
+                if !passes_filter(ctx, q, tag) {
+                    return;
+                }
+                if let Some(v) = compute_value(ctx, q, tag) {
+                    g.0.push(v);
+                }
+            });
         let layout = q.component_layout(ci);
         Ok(Table::union(gathered.0.iter()).unwrap_or_else(|| Table::empty(layout)))
     }
@@ -615,7 +616,11 @@ enum ResCheck {
     Expr(BoundExpr),
     /// Broken-cycle equality between two layout positions.
     Eq(usize, usize),
-    KeySet { pos: Vec<usize>, keys: Arc<FxHashSet<Vec<Value>>>, negated: bool },
+    KeySet {
+        pos: Vec<usize>,
+        keys: Arc<FxHashSet<Vec<Value>>>,
+        negated: bool,
+    },
     ScalarMap {
         pos: Vec<usize>,
         map: Arc<FxHashMap<Vec<Value>, Value>>,
@@ -642,9 +647,7 @@ impl ResCheck {
             ResCheck::ScalarMap { pos, map, expr, op } => {
                 let key: Vec<Value> = pos.iter().map(|&p| row[p].clone()).collect();
                 match map.get(&key) {
-                    Some(rhs) => {
-                        expr.eval(row)?.sql_cmp(rhs).map(|o| op.holds(o)) == Some(true)
-                    }
+                    Some(rhs) => expr.eval(row)?.sql_cmp(rhs).map(|o| op.holds(o)) == Some(true),
                     None => false,
                 }
             }
@@ -654,7 +657,11 @@ impl ResCheck {
 
 /// Subquery results lowered for this executor.
 enum LoweredCheck {
-    KeySet { outer_cols: Vec<(usize, usize)>, keys: Arc<FxHashSet<Vec<Value>>>, negated: bool },
+    KeySet {
+        outer_cols: Vec<(usize, usize)>,
+        keys: Arc<FxHashSet<Vec<Value>>>,
+        negated: bool,
+    },
     ScalarMap {
         outer_cols: Vec<(usize, usize)>,
         map: Arc<FxHashMap<Vec<Value>, Value>>,
@@ -834,7 +841,9 @@ impl<'a> QueryCtx<'a> {
         let mut fold_table: Vec<Option<usize>> = Vec::with_capacity(lowered.len());
         for l in lowered {
             let fold = match l {
-                LoweredCheck::KeySet { outer_cols, .. } => single_table(outer_cols.iter().map(|&(t, _)| t)),
+                LoweredCheck::KeySet { outer_cols, .. } => {
+                    single_table(outer_cols.iter().map(|&(t, _)| t))
+                }
                 LoweredCheck::ScalarMap { outer_cols, expr, .. } => {
                     let mut cols = Vec::new();
                     expr.columns(&mut cols);
@@ -934,8 +943,7 @@ impl<'a> QueryCtx<'a> {
                 let label = tag.column_label(rel, s.col).ok_or_else(|| {
                     RelError::Other(format!(
                         "join column {}.{} is not materialized as attribute vertices",
-                        rel,
-                        a.tables[s.table].schema.columns[s.col].name
+                        rel, a.tables[s.table].schema.columns[s.col].name
                     ))
                 })?;
                 step_labels.insert((s.table, s.col), label);
@@ -973,7 +981,8 @@ impl<'a> QueryCtx<'a> {
             residuals.push(ResCheck::Expr(bind_final(e)?));
         }
         for j in &dec.broken {
-            residuals.push(ResCheck::Eq(pos_of(j.left.0, j.left.1)?, pos_of(j.right.0, j.right.1)?));
+            residuals
+                .push(ResCheck::Eq(pos_of(j.left.0, j.left.1)?, pos_of(j.right.0, j.right.1)?));
         }
         for (l, fold) in lowered.iter().zip(&fold_table) {
             if fold.is_some() {

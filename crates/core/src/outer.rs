@@ -151,12 +151,15 @@ pub fn outer_join(
 mod tests {
     use super::*;
     use vcsql_relation::schema::{Column, Schema};
-    use vcsql_relation::{Database, DataType, Relation, Tuple};
+    use vcsql_relation::{DataType, Database, Relation, Tuple};
 
     fn db() -> Database {
         let mut db = Database::new();
         let r = Relation::from_tuples(
-            Schema::new("R", vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)]),
+            Schema::new(
+                "R",
+                vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+            ),
             vec![
                 Tuple::new(vec![Value::Int(1), Value::Int(10)]),
                 Tuple::new(vec![Value::Int(2), Value::Int(20)]),
@@ -165,7 +168,10 @@ mod tests {
         )
         .unwrap();
         let s = Relation::from_tuples(
-            Schema::new("S", vec![Column::new("b", DataType::Int), Column::new("c", DataType::Int)]),
+            Schema::new(
+                "S",
+                vec![Column::new("b", DataType::Int), Column::new("c", DataType::Int)],
+            ),
             vec![
                 Tuple::new(vec![Value::Int(10), Value::Int(100)]),
                 Tuple::new(vec![Value::Int(10), Value::Int(101)]),
@@ -192,7 +198,8 @@ mod tests {
     fn left_outer() {
         let dbv = db();
         let tag = TagGraph::build(&dbv);
-        let (t, _) = outer_join(&tag, EngineConfig::sequential(), &spec(), OuterKind::Left).unwrap();
+        let (t, _) =
+            outer_join(&tag, EngineConfig::sequential(), &spec(), OuterKind::Left).unwrap();
         // Inner: (1,100), (1,101); dangling left: a=2 and a=3 (NULL key).
         assert_eq!(t.len(), 4);
         let nulls = t.rows.iter().filter(|r| r.iter().any(Value::is_null)).count();
@@ -213,7 +220,8 @@ mod tests {
     fn full_outer() {
         let dbv = db();
         let tag = TagGraph::build(&dbv);
-        let (t, _) = outer_join(&tag, EngineConfig::sequential(), &spec(), OuterKind::Full).unwrap();
+        let (t, _) =
+            outer_join(&tag, EngineConfig::sequential(), &spec(), OuterKind::Full).unwrap();
         // Inner 2 + left dangling 2 + right dangling 1.
         assert_eq!(t.len(), 5);
     }
@@ -223,20 +231,27 @@ mod tests {
         let mut dbv = Database::new();
         dbv.add(
             Relation::from_tuples(
-                Schema::new("R", vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)]),
+                Schema::new(
+                    "R",
+                    vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+                ),
                 vec![Tuple::new(vec![Value::Int(1), Value::Int(7)])],
             )
             .unwrap(),
         );
         dbv.add(
             Relation::from_tuples(
-                Schema::new("S", vec![Column::new("b", DataType::Int), Column::new("c", DataType::Int)]),
+                Schema::new(
+                    "S",
+                    vec![Column::new("b", DataType::Int), Column::new("c", DataType::Int)],
+                ),
                 vec![Tuple::new(vec![Value::Int(8), Value::Int(80)])],
             )
             .unwrap(),
         );
         let tag = TagGraph::build(&dbv);
-        let (t, _) = outer_join(&tag, EngineConfig::sequential(), &spec(), OuterKind::Full).unwrap();
+        let (t, _) =
+            outer_join(&tag, EngineConfig::sequential(), &spec(), OuterKind::Full).unwrap();
         assert_eq!(t.len(), 2);
         assert!(t.rows.iter().all(|r| r.iter().any(Value::is_null)));
     }

@@ -33,10 +33,8 @@ pub fn semi_join(
     right_col: &str,
     anti: bool,
 ) -> Result<(Relation, RunStats)> {
-    let lschema = tag
-        .schema(left)
-        .ok_or_else(|| RelError::UnknownRelation(left.to_string()))?
-        .clone();
+    let lschema =
+        tag.schema(left).ok_or_else(|| RelError::UnknownRelation(left.to_string()))?.clone();
     let lcol = lschema.column_index(left_col)?;
     let llabel = tag
         .column_label_by_name(left, left_col)
@@ -109,7 +107,7 @@ pub fn semi_join(
 mod tests {
     use super::*;
     use vcsql_relation::schema::{Column, Schema};
-    use vcsql_relation::{Database, DataType, Value};
+    use vcsql_relation::{DataType, Database, Value};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -122,10 +120,7 @@ mod tests {
         }
         r.push(Tuple::new(vec![Value::Null, Value::Int(99)])).unwrap();
         db.add(r);
-        let mut s = Relation::empty(Schema::new(
-            "S",
-            vec![Column::new("b", DataType::Int)],
-        ));
+        let mut s = Relation::empty(Schema::new("S", vec![Column::new("b", DataType::Int)]));
         for b in [2, 2, 4] {
             s.push(Tuple::new(vec![Value::Int(b)])).unwrap();
         }

@@ -63,9 +63,22 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Approximate payload bytes (used for message accounting).
+    /// Approximate serialized payload bytes (used for message accounting):
+    /// one 8-byte word per value plus the contents of variable-length
+    /// values — the same wire model the distributed simulation charges the
+    /// shuffle-join side, so TAG-vs-Spark byte comparisons are like for
+    /// like.
     pub fn approx_bytes(&self) -> usize {
-        16 + self.rows.len() * self.cols.len() * 16
+        let variable: usize = self
+            .rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|v| match v {
+                Value::Str(s) => s.len().div_ceil(8) * 8,
+                _ => 0,
+            })
+            .sum();
+        16 + self.rows.len() * self.cols.len() * 8 + variable
     }
 
     /// Union of same-schema tables (bag semantics).
@@ -238,10 +251,7 @@ mod tests {
         // L(var0, a) ⋈ R(var0, b)
         let l = Table {
             cols: vec![ColKey::Var(0), ColKey::Col { table: 0, col: 1 }],
-            rows: vec![
-                vec![v(1), v(10)].into_boxed_slice(),
-                vec![v(2), v(20)].into_boxed_slice(),
-            ],
+            rows: vec![vec![v(1), v(10)].into_boxed_slice(), vec![v(2), v(20)].into_boxed_slice()],
         };
         let r = Table {
             cols: vec![ColKey::Var(0), ColKey::Col { table: 1, col: 1 }],
@@ -275,7 +285,8 @@ mod tests {
     #[test]
     fn union_accumulates_rows() {
         let a = Table { cols: vec![ColKey::Var(0)], rows: vec![vec![v(1)].into()] };
-        let b = Table { cols: vec![ColKey::Var(0)], rows: vec![vec![v(2)].into(), vec![v(3)].into()] };
+        let b =
+            Table { cols: vec![ColKey::Var(0)], rows: vec![vec![v(2)].into(), vec![v(3)].into()] };
         let u = Table::union([&a, &b]).unwrap();
         assert_eq!(u.len(), 3);
         assert!(Table::union(std::iter::empty::<&Table>()).is_none());

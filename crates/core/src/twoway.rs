@@ -203,26 +203,27 @@ pub fn two_way_join(
     });
 
     // Superstep 3: intersect companions, keep the factorized pair (Fig 2(c)).
-    let (_, groups) = comp.superstep(|ctx: &mut VertexCtx<'_, '_, (), TwMsg>, g: &mut GroupsAgg| {
-        let mut left: Vec<&Table> = Vec::new();
-        let mut right: Vec<&Table> = Vec::new();
-        for m in ctx.messages() {
-            if let TwMsg::Row(side, t) = m {
-                if *side == 0 {
-                    left.push(t);
-                } else {
-                    right.push(t);
+    let (_, groups) =
+        comp.superstep(|ctx: &mut VertexCtx<'_, '_, (), TwMsg>, g: &mut GroupsAgg| {
+            let mut left: Vec<&Table> = Vec::new();
+            let mut right: Vec<&Table> = Vec::new();
+            for m in ctx.messages() {
+                if let TwMsg::Row(side, t) = m {
+                    if *side == 0 {
+                        left.push(t);
+                    } else {
+                        right.push(t);
+                    }
                 }
             }
-        }
-        let (Some(l), Some(r)) = (Table::union(left), Table::union(right)) else { return };
-        let (l, r) = intersect_companions(l, r);
-        if l.is_empty() || r.is_empty() {
-            return;
-        }
-        let join_value = tag.attr_value(ctx.id()).cloned().unwrap_or(Value::Null);
-        g.0.push(FactorGroup { join_value, left: l, right: r });
-    });
+            let (Some(l), Some(r)) = (Table::union(left), Table::union(right)) else { return };
+            let (l, r) = intersect_companions(l, r);
+            if l.is_empty() || r.is_empty() {
+                return;
+            }
+            let join_value = tag.attr_value(ctx.id()).cloned().unwrap_or(Value::Null);
+            g.0.push(FactorGroup { join_value, left: l, right: r });
+        });
 
     let (_, stats) = comp.finish();
     let mut groups = groups.0;
@@ -258,17 +259,23 @@ fn intersect_companions(mut l: Table, mut r: Table) -> (Table, Table) {
 mod tests {
     use super::*;
     use vcsql_relation::schema::{Column, Schema};
-    use vcsql_relation::{Database, DataType, Relation, Tuple};
+    use vcsql_relation::{DataType, Database, Relation, Tuple};
 
     fn db(rs: Vec<(i64, i64)>, ss: Vec<(i64, i64)>) -> Database {
         let mut db = Database::new();
         let r = Relation::from_tuples(
-            Schema::new("R", vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)]),
+            Schema::new(
+                "R",
+                vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+            ),
             rs.into_iter().map(|(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)])).collect(),
         )
         .unwrap();
         let s = Relation::from_tuples(
-            Schema::new("S", vec![Column::new("b", DataType::Int), Column::new("c", DataType::Int)]),
+            Schema::new(
+                "S",
+                vec![Column::new("b", DataType::Int), Column::new("c", DataType::Int)],
+            ),
             ss.into_iter().map(|(b, c)| Tuple::new(vec![Value::Int(b), Value::Int(c)])).collect(),
         )
         .unwrap();
@@ -290,10 +297,8 @@ mod tests {
     #[test]
     fn figure2_example() {
         // Paper Fig 2: b1 joins 3 R-tuples with 3 S-tuples; others dangle.
-        let db = db(
-            vec![(1, 10), (2, 10), (3, 10), (4, 20)],
-            vec![(10, 7), (10, 8), (10, 9), (30, 5)],
-        );
+        let db =
+            db(vec![(1, 10), (2, 10), (3, 10), (4, 20)], vec![(10, 7), (10, 8), (10, 9), (30, 5)]);
         let tag = TagGraph::build(&db);
         let res = two_way_join(&tag, EngineConfig::sequential(), &spec()).unwrap();
         assert_eq!(res.groups.len(), 1);

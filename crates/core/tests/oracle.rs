@@ -7,7 +7,7 @@ use vcsql_bsp::EngineConfig;
 use vcsql_core::TagJoinExecutor;
 use vcsql_query::{analyze::analyze, parse};
 use vcsql_relation::schema::{Column, Schema};
-use vcsql_relation::{Database, DataType, Date, Relation, Tuple, Value};
+use vcsql_relation::{DataType, Database, Date, Relation, Tuple, Value};
 use vcsql_tag::TagGraph;
 
 /// A miniature snowflake: region ← nation ← customer ← orders ← lineitem,
@@ -173,8 +173,8 @@ fn check(sql: &str) {
     let stmt = parse(sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
     let analyzed = analyze(&stmt, tag.schemas()).unwrap_or_else(|e| panic!("analyze `{sql}`: {e}"));
 
-    let expected =
-        baseline(&analyzed, &db, ExecConfig::default()).unwrap_or_else(|e| panic!("oracle `{sql}`: {e}"));
+    let expected = baseline(&analyzed, &db, ExecConfig::default())
+        .unwrap_or_else(|e| panic!("oracle `{sql}`: {e}"));
 
     for threads in [1, 4] {
         let exec = TagJoinExecutor::new(&tag, EngineConfig::with_threads(threads));
@@ -384,10 +384,9 @@ fn year_function_and_date_filter() {
 fn self_join_is_rejected_with_clear_error() {
     let db = warehouse();
     let tag = TagGraph::build(&db);
-    let stmt = parse(
-        "SELECT a.c_name FROM customer a, customer b WHERE a.c_nationkey = b.c_nationkey",
-    )
-    .unwrap();
+    let stmt =
+        parse("SELECT a.c_name FROM customer a, customer b WHERE a.c_nationkey = b.c_nationkey")
+            .unwrap();
     let analyzed = analyze(&stmt, tag.schemas()).unwrap();
     let exec = TagJoinExecutor::new(&tag, EngineConfig::sequential());
     let err = exec.execute(&analyzed).unwrap_err();

@@ -1,0 +1,86 @@
+//! Network-traffic accounting shared by the TAG distributed run and the
+//! shuffle-join model.
+//!
+//! The paper (Section 8.6) measures *total network traffic during query
+//! execution* with `sar` on a 6-machine cluster. Both simulated engines here
+//! report that quantity as a [`NetStats`]: bytes (and message/tuple counts)
+//! that crossed a machine boundary. Both sides charge the same wire model —
+//! one 8-byte word per value plus 8-byte-aligned variable-length string
+//! payloads: the TAG executor through `Table::approx_bytes` (see
+//! `vcsql_core::table`), the Spark model through [`unsafe_row_bytes`] —
+//! so the byte comparison is like for like.
+
+use vcsql_relation::Value;
+
+/// Traffic that crossed simulated machine boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages (TAG) or shuffled/broadcast tuples (Spark model) sent over
+    /// the network.
+    pub network_messages: u64,
+    /// Bytes sent over the network.
+    pub network_bytes: u64,
+    /// Communication rounds: BSP supersteps (TAG) or exchange stages —
+    /// shuffles plus broadcasts (Spark model).
+    pub rounds: u64,
+}
+
+impl NetStats {
+    /// Fold another run's traffic into this one (e.g. a subquery's).
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.network_messages += other.network_messages;
+        self.network_bytes += other.network_bytes;
+        self.rounds += other.rounds;
+    }
+
+    /// Record one exchange of `tuples` totalling `bytes`.
+    pub fn record_exchange(&mut self, tuples: u64, bytes: u64) {
+        self.network_messages += tuples;
+        self.network_bytes += bytes;
+        self.rounds += 1;
+    }
+}
+
+/// Modelled size of one row in Spark's `UnsafeRow` shuffle format: an
+/// 8-byte null bitmap word (per 64 columns), one 8-byte word per field, and
+/// 8-byte-aligned variable-length data for strings. This is what Spark's
+/// shuffle serializer actually writes, so the shuffle-join model charges it
+/// instead of an idealized packed encoding.
+pub fn unsafe_row_bytes(row: &[Value]) -> u64 {
+    let bitmap = 8 * (row.len() as u64).div_ceil(64).max(1);
+    let fixed = 8 * row.len() as u64;
+    let variable: u64 = row
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => (s.len() as u64).div_ceil(8) * 8,
+            _ => 0,
+        })
+        .sum();
+    bitmap + fixed + variable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_row_sizes() {
+        // 1 bitmap word + 3 fields + "0123456789" padded to 16.
+        assert_eq!(
+            unsafe_row_bytes(&[Value::Int(1), Value::Null, Value::str("0123456789")]),
+            8 + 24 + 16
+        );
+        // Empty row still pays the bitmap word.
+        assert_eq!(unsafe_row_bytes(&[]), 8);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = NetStats::default();
+        a.record_exchange(10, 100);
+        let mut b = NetStats::default();
+        b.record_exchange(5, 50);
+        a.absorb(&b);
+        assert_eq!(a, NetStats { network_messages: 15, network_bytes: 150, rounds: 2 });
+    }
+}

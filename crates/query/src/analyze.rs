@@ -211,9 +211,7 @@ fn map_cols(e: &Expr, f: &mut impl FnMut(&ColRef) -> Result<ColRef>) -> Result<E
     Ok(match e {
         Expr::Col(c) => Expr::Col(f(c)?),
         Expr::Lit(v) => Expr::Lit(v.clone()),
-        Expr::Cmp(op, a, b) => {
-            Expr::Cmp(*op, Box::new(map_cols(a, f)?), Box::new(map_cols(b, f)?))
-        }
+        Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(map_cols(a, f)?), Box::new(map_cols(b, f)?)),
         Expr::And(es) => Expr::And(es.iter().map(|e| map_cols(e, f)).collect::<Result<_>>()?),
         Expr::Or(es) => Expr::Or(es.iter().map(|e| map_cols(e, f)).collect::<Result<_>>()?),
         Expr::Not(e) => Expr::Not(Box::new(map_cols(e, f)?)),
@@ -326,8 +324,7 @@ fn analyze_scoped(
                             }
                             _ if outer.is_some() => {
                                 // Possibly a correlation with the outer query.
-                                if let Some(corr) =
-                                    correlation_of(ca, cb, &tables, outer.unwrap())?
+                                if let Some(corr) = correlation_of(ca, cb, &tables, outer.unwrap())?
                                 {
                                     correlations.push(corr);
                                     continue;

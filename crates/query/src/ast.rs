@@ -2,7 +2,7 @@
 
 use std::fmt;
 use vcsql_relation::agg::AggFunc;
-use vcsql_relation::expr::{ColRef, CmpOp, Expr};
+use vcsql_relation::expr::{CmpOp, ColRef, Expr};
 
 /// A table reference with an alias (`lineitem l`; alias defaults to the
 /// relation name).
@@ -118,11 +118,22 @@ pub enum QExpr {
     /// A subquery-free scalar predicate.
     Base(Expr),
     /// `[NOT] EXISTS (subquery)` — possibly correlated.
-    Exists { query: Box<SelectStmt>, negated: bool },
+    Exists {
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
     /// `expr [NOT] IN (subquery)`.
-    InSubquery { expr: Expr, query: Box<SelectStmt>, negated: bool },
+    InSubquery {
+        expr: Expr,
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
     /// `expr op (scalar subquery)`.
-    CmpSubquery { expr: Expr, op: CmpOp, query: Box<SelectStmt> },
+    CmpSubquery {
+        expr: Expr,
+        op: CmpOp,
+        query: Box<SelectStmt>,
+    },
     And(Vec<QExpr>),
     Or(Vec<QExpr>),
     Not(Box<QExpr>),
@@ -292,10 +303,7 @@ mod tests {
     fn output_names() {
         let item = SelectItem::Agg { func: AggFunc::Sum, arg: None, alias: None };
         assert_eq!(item.output_name(2), "sum_2");
-        let item = SelectItem::Expr {
-            expr: Expr::col(ColRef::qualified("l", "qty")),
-            alias: None,
-        };
+        let item = SelectItem::Expr { expr: Expr::col(ColRef::qualified("l", "qty")), alias: None };
         assert_eq!(item.output_name(0), "qty");
     }
 }

@@ -96,7 +96,10 @@ impl JoinTree {
         let infos: Vec<(Option<usize>, Vec<usize>)> = path
             .windows(2)
             .map(|w| {
-                (self.link_var.remove(&w[0]), self.extra_link_vars.remove(&w[0]).unwrap_or_default())
+                (
+                    self.link_var.remove(&w[0]),
+                    self.extra_link_vars.remove(&w[0]).unwrap_or_default(),
+                )
             })
             .collect();
         for (w, (var, extra)) in path.windows(2).zip(infos) {
@@ -172,12 +175,16 @@ impl Uf {
 }
 
 /// Compute join variables from the predicates.
-fn join_vars(n_tables: usize, joins: &[JoinPred]) -> (Vec<JoinVar>, FxHashMap<(usize, usize), usize>) {
+fn join_vars(
+    n_tables: usize,
+    joins: &[JoinPred],
+) -> (Vec<JoinVar>, FxHashMap<(usize, usize), usize>) {
     // Index the (table, col) pairs that participate in joins.
     let mut pair_ids: FxHashMap<(usize, usize), usize> = FxHashMap::default();
     let mut pairs = Vec::new();
-    let id_of = |p: (usize, usize), pairs: &mut Vec<(usize, usize)>,
-                     map: &mut FxHashMap<(usize, usize), usize>| {
+    let id_of = |p: (usize, usize),
+                 pairs: &mut Vec<(usize, usize)>,
+                 map: &mut FxHashMap<(usize, usize), usize>| {
         *map.entry(p).or_insert_with(|| {
             pairs.push(p);
             pairs.len() - 1
@@ -242,11 +249,7 @@ fn gyo_component(
             let shared: Vec<usize> = table_vars[&e]
                 .iter()
                 .copied()
-                .filter(|&v| {
-                    vars[v]
-                        .tables()
-                        .any(|t| t != e && remaining.contains(&t))
-                })
+                .filter(|&v| vars[v].tables().any(|t| t != e && remaining.contains(&t)))
                 .collect();
             if shared.is_empty() {
                 // Disconnected within component cannot happen (components are
@@ -286,14 +289,7 @@ fn gyo_component(
     // Children were attached in removal order; reverse for a more natural
     // "first ear removed is deepest" ordering — keep removal order, it is
     // deterministic either way.
-    Ok(JoinTree {
-        tables: tables.to_vec(),
-        root,
-        parent,
-        children,
-        link_var,
-        extra_link_vars,
-    })
+    Ok(JoinTree { tables: tables.to_vec(), root, parent, children, link_var, extra_link_vars })
 }
 
 /// Decompose a join graph over `n_tables` tables into join trees per

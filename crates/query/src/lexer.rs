@@ -69,7 +69,8 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
                 {
                     is_float = true;
                     i += 1;
@@ -83,9 +84,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, RelError> {
                         RelError::Parse(format!("bad float literal `{text}`: {e}"))
                     })?));
                 } else {
-                    out.push(Token::Int(text.parse().map_err(|e| {
-                        RelError::Parse(format!("bad int literal `{text}`: {e}"))
-                    })?));
+                    out.push(Token::Int(
+                        text.parse().map_err(|e| {
+                            RelError::Parse(format!("bad int literal `{text}`: {e}"))
+                        })?,
+                    ));
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {

@@ -26,7 +26,10 @@ pub mod lexer;
 pub mod parser;
 pub mod tagplan;
 
-pub use analyze::{analyze, AggClass, Analyzed, Correlation, JoinPred, OutputItem, SubqueryKind, SubqueryPred, TableBinding};
+pub use analyze::{
+    analyze, AggClass, Analyzed, Correlation, JoinPred, OutputItem, SubqueryKind, SubqueryPred,
+    TableBinding,
+};
 pub use ast::{HavingPred, JoinKind, QExpr, SelectItem, SelectStmt, TableRef};
 pub use gyo::{decompose, Decomposition, JoinTree, JoinVar};
 pub use parser::parse;

@@ -111,9 +111,7 @@ impl Parser {
     /// A non-reserved identifier.
     fn ident(&mut self) -> Result<String, RelError> {
         match self.peek() {
-            Some(Token::Ident(s))
-                if !RESERVED.contains(&s.to_ascii_uppercase().as_str()) =>
-            {
+            Some(Token::Ident(s)) if !RESERVED.contains(&s.to_ascii_uppercase().as_str()) => {
                 let s = s.clone();
                 self.pos += 1;
                 Ok(s)
@@ -132,8 +130,7 @@ impl Parser {
         }
         self.expect_keyword("FROM")?;
         let (from, joins) = self.from_clause()?;
-        let where_clause =
-            if self.eat_keyword("WHERE") { Some(self.qexpr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.qexpr()?) } else { None };
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
@@ -154,16 +151,13 @@ impl Parser {
 
     /// `FUNC(arg) op rhs` — the aggregate-comparison form of HAVING.
     fn having_pred(&mut self) -> Result<crate::ast::HavingPred, RelError> {
-        let func = self
-            .peek_agg_func()
-            .ok_or_else(|| RelError::Parse(format!("expected aggregate in HAVING, found {:?}", self.peek())))?;
+        let func = self.peek_agg_func().ok_or_else(|| {
+            RelError::Parse(format!("expected aggregate in HAVING, found {:?}", self.peek()))
+        })?;
         self.pos += 1;
         self.expect_sym("(")?;
-        let (func, arg) = if self.eat_sym("*") {
-            (AggFunc::CountStar, None)
-        } else {
-            (func, Some(self.expr()?))
-        };
+        let (func, arg) =
+            if self.eat_sym("*") { (AggFunc::CountStar, None) } else { (func, Some(self.expr()?)) };
         self.expect_sym(")")?;
         let op = match self.advance() {
             Some(Token::Sym("=")) => CmpOp::Eq,
@@ -172,7 +166,11 @@ impl Parser {
             Some(Token::Sym("<=")) => CmpOp::Le,
             Some(Token::Sym(">")) => CmpOp::Gt,
             Some(Token::Sym(">=")) => CmpOp::Ge,
-            other => return Err(RelError::Parse(format!("expected comparison in HAVING, found {other:?}"))),
+            other => {
+                return Err(RelError::Parse(format!(
+                    "expected comparison in HAVING, found {other:?}"
+                )))
+            }
         };
         let rhs = self.expr()?;
         Ok(crate::ast::HavingPred { func, arg, op, rhs })
@@ -311,10 +309,7 @@ impl Parser {
 
     /// `NOT EXISTS (...)` is handled inside qprim; plain `NOT <pred>` here.
     fn not_starts_predicate(&self) -> bool {
-        matches!(
-            self.tokens.get(self.pos + 1).and_then(Token::keyword).as_deref(),
-            Some("EXISTS")
-        )
+        matches!(self.tokens.get(self.pos + 1).and_then(Token::keyword).as_deref(), Some("EXISTS"))
     }
 
     fn qprim(&mut self) -> Result<QExpr, RelError> {
@@ -417,7 +412,8 @@ impl Parser {
             other => return Err(RelError::Parse(format!("expected predicate, found {other:?}"))),
         };
         self.pos += 1;
-        if self.peek_sym("(") && self.tokens.get(self.pos + 1).and_then(Token::keyword).as_deref() == Some("SELECT")
+        if self.peek_sym("(")
+            && self.tokens.get(self.pos + 1).and_then(Token::keyword).as_deref() == Some("SELECT")
         {
             self.expect_sym("(")?;
             let q = self.select_stmt()?;
@@ -540,8 +536,7 @@ impl Parser {
         if branches.is_empty() {
             return Err(RelError::Parse("CASE requires at least one WHEN".into()));
         }
-        let otherwise =
-            if self.eat_keyword("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        let otherwise = if self.eat_keyword("ELSE") { Some(Box::new(self.expr()?)) } else { None };
         self.expect_keyword("END")?;
         Ok(Expr::Case { branches, otherwise })
     }
@@ -586,10 +581,9 @@ mod tests {
 
     #[test]
     fn explicit_joins() {
-        let q = parse(
-            "SELECT a.x FROM r a LEFT JOIN s b ON a.k = b.k FULL OUTER JOIN t ON b.j = t.j",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT a.x FROM r a LEFT JOIN s b ON a.k = b.k FULL OUTER JOIN t ON b.j = t.j")
+                .unwrap();
         assert_eq!(q.joins.len(), 2);
         assert_eq!(q.joins[0].kind, JoinKind::Left);
         assert_eq!(q.joins[1].kind, JoinKind::Full);
@@ -615,18 +609,13 @@ mod tests {
     fn not_exists() {
         let q = parse("SELECT a.x FROM a WHERE NOT EXISTS (SELECT b.y FROM b WHERE b.y = a.x)")
             .unwrap();
-        assert!(matches!(
-            q.where_clause.unwrap(),
-            QExpr::Exists { negated: true, .. }
-        ));
+        assert!(matches!(q.where_clause.unwrap(), QExpr::Exists { negated: true, .. }));
     }
 
     #[test]
     fn boolean_grouping_and_or() {
-        let q = parse(
-            "SELECT t.a FROM t WHERE (t.a = 1 OR t.b = 2) AND (t.c = 3 OR t.d = 4)",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT t.a FROM t WHERE (t.a = 1 OR t.b = 2) AND (t.c = 3 OR t.d = 4)").unwrap();
         let conj = q.where_clause.unwrap().conjuncts();
         assert_eq!(conj.len(), 2);
         assert!(matches!(&conj[0], QExpr::Or(es) if es.len() == 2));

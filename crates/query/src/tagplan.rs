@@ -72,9 +72,8 @@ impl TagPlan {
             let var = tree.link_var[&t];
             let parent_rel = rel_node[&parent_table];
             let a = *attr_node.entry(var).or_insert_with(|| {
-                let col_in_parent = dec.vars[var]
-                    .column_in(parent_table)
-                    .expect("link var occurs in parent");
+                let col_in_parent =
+                    dec.vars[var].column_in(parent_table).expect("link var occurs in parent");
                 plan.add_node(
                     PlanNode::Attr { var },
                     Some(parent_rel),

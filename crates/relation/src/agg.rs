@@ -97,12 +97,18 @@ impl Accumulator {
                 None => return Err(RelError::type_mismatch("numeric in AVG", format!("{v}"))),
             },
             Accumulator::Min(cur) => {
-                if !v.is_null() && cur.as_ref().map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Less)) {
+                if !v.is_null()
+                    && cur.as_ref().map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Less))
+                {
                     *cur = Some(v.clone());
                 }
             }
             Accumulator::Max(cur) => {
-                if !v.is_null() && cur.as_ref().map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Greater)) {
+                if !v.is_null()
+                    && cur
+                        .as_ref()
+                        .map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
+                {
                     *cur = Some(v.clone());
                 }
             }
@@ -157,7 +163,8 @@ impl Accumulator {
             }
             (Accumulator::Max(a), Accumulator::Max(b)) => {
                 if let Some(v) = b {
-                    if a.as_ref().map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
+                    if a.as_ref()
+                        .map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
                     {
                         *a = Some(v.clone());
                     }

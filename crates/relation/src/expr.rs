@@ -141,15 +141,33 @@ pub enum Expr {
     Arith(ArithOp, Box<Expr>, Box<Expr>),
     Neg(Box<Expr>),
     /// `CASE WHEN c1 THEN e1 [WHEN ...] [ELSE e] END`
-    Case { branches: Vec<(Expr, Expr)>, otherwise: Option<Box<Expr>> },
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        otherwise: Option<Box<Expr>>,
+    },
     /// SQL `LIKE` with `%` and `_` wildcards.
-    Like { expr: Box<Expr>, pattern: String, negated: bool },
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
     /// `expr [NOT] IN (v1, v2, ...)` over literal lists.
-    InList { expr: Box<Expr>, list: Vec<Value>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
     /// `expr BETWEEN low AND high` (inclusive).
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr> },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
     /// `expr IS [NOT] NULL`
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     Func(Func, Vec<Expr>),
 }
 
@@ -418,7 +436,9 @@ impl BoundExpr {
                 Value::Int(i) => Value::Int(-i),
                 Value::Float(x) => Value::Float(-x),
                 Value::Null => Value::Null,
-                other => return Err(RelError::type_mismatch("numeric in negation", format!("{other}"))),
+                other => {
+                    return Err(RelError::type_mismatch("numeric in negation", format!("{other}")))
+                }
             },
             BoundExpr::Case { branches, otherwise } => {
                 for (cond, then) in branches {
@@ -528,11 +548,9 @@ fn eval_func(f: Func, args: &[Value]) -> Result<Value> {
                 return Err(RelError::Other(format!("{f} takes exactly one argument")));
             };
             match v {
-                Value::Date(d) => Ok(Value::Int(if f == Func::Year {
-                    d.year() as i64
-                } else {
-                    d.month() as i64
-                })),
+                Value::Date(d) => {
+                    Ok(Value::Int(if f == Func::Year { d.year() as i64 } else { d.month() as i64 }))
+                }
                 Value::Null => Ok(Value::Null),
                 other => Err(RelError::type_mismatch("DATE", format!("{other}"))),
             }

@@ -23,9 +23,10 @@ pub fn parse_value(text: &str, ty: DataType) -> Result<Value> {
             "false" | "f" | "0" => Ok(Value::Bool(false)),
             _ => Err(RelError::Parse(format!("bad bool: {text}"))),
         },
-        DataType::Int => {
-            text.parse::<i64>().map(Value::Int).map_err(|e| RelError::Parse(format!("bad int `{text}`: {e}")))
-        }
+        DataType::Int => text
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| RelError::Parse(format!("bad int `{text}`: {e}"))),
         DataType::Float => text
             .parse::<f64>()
             .map(Value::Float)

@@ -184,9 +184,7 @@ fn value_approx_eq(a: &crate::value::Value, b: &crate::value::Value, eps: f64) -
         }
         // Int/Float cross: aggregates may type a sum differently per engine
         // when inputs mix; compare numerically.
-        (Int(x), Float(y)) | (Float(y), Int(x)) => {
-            (*x as f64 - y).abs() <= eps * y.abs().max(1.0)
-        }
+        (Int(x), Float(y)) | (Float(y), Int(x)) => (*x as f64 - y).abs() <= eps * y.abs().max(1.0),
         _ => a == b,
     }
 }
@@ -198,10 +196,7 @@ mod tests {
     use crate::value::DataType;
 
     fn schema() -> Schema {
-        Schema::new(
-            "r",
-            vec![Column::new("a", DataType::Int), Column::new("b", DataType::Str)],
-        )
+        Schema::new("r", vec![Column::new("a", DataType::Int), Column::new("b", DataType::Str)])
     }
 
     #[test]

@@ -319,9 +319,14 @@ mod tests {
 
     #[test]
     fn date_roundtrip() {
-        for &(y, m, d) in
-            &[(1970, 1, 1), (2000, 2, 29), (1999, 12, 31), (2024, 2, 29), (1900, 3, 1), (2038, 1, 19)]
-        {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (1999, 12, 31),
+            (2024, 2, 29),
+            (1900, 3, 1),
+            (2038, 1, 19),
+        ] {
             let date = Date::from_ymd(y, m, d);
             assert_eq!(date.to_ymd(), (y, m, d), "roundtrip {y}-{m}-{d}");
         }

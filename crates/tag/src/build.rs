@@ -1,9 +1,7 @@
 //! TAG construction and maintenance.
 
 use vcsql_bsp::{Graph, GraphBuilder, LabelId, VertexId};
-use vcsql_relation::{
-    fx, Database, FxHashMap, RelError, Relation, Schema, Tuple, Value,
-};
+use vcsql_relation::{fx, Database, FxHashMap, RelError, Relation, Schema, Tuple, Value};
 
 /// What a vertex stands for.
 #[derive(Debug, Clone, PartialEq)]
@@ -192,8 +190,9 @@ impl TagBuilder {
     /// Freeze into the immutable, executable [`TagGraph`]. Deleted and
     /// isolated-attribute vertices are dropped and ids are compacted.
     pub fn build(self) -> TagGraph {
-        let TagBuilder { policy: _, schemas, payloads, vertex_label_of, adjacency, deleted, .. } =
-            self;
+        let TagBuilder {
+            policy: _, schemas, payloads, vertex_label_of, adjacency, deleted, ..
+        } = self;
 
         // Keep live tuple vertices and attribute vertices with >= 1 edge.
         let keep: Vec<bool> = payloads
@@ -385,8 +384,7 @@ impl TagGraph {
             }
             payload_bytes += p.deep_size();
         }
-        let index_bytes =
-            self.attr_index.len() * (std::mem::size_of::<(Value, VertexId)>() + 16);
+        let index_bytes = self.attr_index.len() * (std::mem::size_of::<(Value, VertexId)>() + 16);
         TagStats {
             tuple_vertices,
             attr_vertices,
@@ -437,7 +435,10 @@ mod tests {
         let customer = Relation::from_tuples(
             Schema::new(
                 "CUSTOMER",
-                vec![Column::new("custkey", DataType::Int), Column::new("nationkey", DataType::Int)],
+                vec![
+                    Column::new("custkey", DataType::Int),
+                    Column::new("nationkey", DataType::Int),
+                ],
             )
             .with_primary_key(&["custkey"]),
             vec![

@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vcsql_relation::schema::{Column, Schema};
-use vcsql_relation::{Database, DataType, Relation, Tuple, Value};
+use vcsql_relation::{DataType, Database, Relation, Tuple, Value};
 
 /// A binary relation `name(c0, c1)` with `rows` tuples over value domains of
 /// the given sizes (uniform).
@@ -16,10 +16,8 @@ pub fn binary_relation(
     domain1: i64,
     rng: &mut StdRng,
 ) -> Relation {
-    let schema = Schema::new(
-        name,
-        vec![Column::new("c0", DataType::Int), Column::new("c1", DataType::Int)],
-    );
+    let schema =
+        Schema::new(name, vec![Column::new("c0", DataType::Int), Column::new("c1", DataType::Int)]);
     let mut rel = Relation::empty(schema);
     for _ in 0..rows {
         rel.push(Tuple::new(vec![
@@ -39,15 +37,17 @@ pub fn two_way_db(rows: usize, b_domain: i64, seed: u64) -> Database {
     let mut db = Database::new();
     let mut r = binary_relation("r", rows, rows as i64 * 4, b_domain, &mut rng);
     r.schema.name = "r".into();
-    let mut r2 = Relation::empty(
-        Schema::new("r", vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)]),
-    );
+    let mut r2 = Relation::empty(Schema::new(
+        "r",
+        vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+    ));
     r2.tuples = r.tuples;
     db.add(r2);
     let s = binary_relation("s_", rows, b_domain, rows as i64 * 4, &mut rng);
-    let mut s2 = Relation::empty(
-        Schema::new("s", vec![Column::new("b", DataType::Int), Column::new("c", DataType::Int)]),
-    );
+    let mut s2 = Relation::empty(Schema::new(
+        "s",
+        vec![Column::new("b", DataType::Int), Column::new("c", DataType::Int)],
+    ));
     s2.tuples = s.tuples;
     db.add(s2);
     db

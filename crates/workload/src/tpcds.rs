@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vcsql_query::AggClass;
 use vcsql_relation::schema::{Column, Schema};
-use vcsql_relation::{Database, DataType, Date, Relation, Tuple, Value};
+use vcsql_relation::{DataType, Database, Date, Relation, Tuple, Value};
 
 const STATES: [&str; 10] = ["CA", "NY", "TX", "WA", "IL", "GA", "OH", "MI", "TN", "OR"];
 const CATEGORIES: [&str; 6] = ["Music", "Books", "Electronics", "Home", "Sports", "Shoes"];
@@ -197,7 +197,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
             Value::str(format!("Brand#{}", rng.gen_range(1..12))),
             Value::str(CATEGORIES[rng.gen_range(0..CATEGORIES.len())]),
             Value::str(CLASSES[rng.gen_range(0..CLASSES.len())]),
-            Value::str(["red", "green", "blue", "bisque", "rosy"][rng.gen_range(0..5)]),
+            Value::str(["red", "green", "blue", "bisque", "rosy"][rng.gen_range(0..5usize)]),
             Value::Float((rng.gen_range(100..20_000) as f64) / 100.0),
             Value::Int(rng.gen_range(1..100)),
         ]))

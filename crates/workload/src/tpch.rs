@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vcsql_query::AggClass;
 use vcsql_relation::schema::{Column, Schema};
-use vcsql_relation::{Database, DataType, Date, Relation, Tuple, Value};
+use vcsql_relation::{DataType, Database, Date, Relation, Tuple, Value};
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: [(&str, i64); 25] = [
@@ -46,8 +46,14 @@ const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIE
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const COLORS: [&str; 10] =
     ["green", "blue", "red", "metallic", "burnished", "floral", "ivory", "navy", "plum", "puff"];
-const TYPES: [&str; 6] =
-    ["PROMO BRUSHED", "STANDARD POLISHED", "SMALL PLATED", "MEDIUM BURNISHED", "ECONOMY ANODIZED", "LARGE BRUSHED"];
+const TYPES: [&str; 6] = [
+    "PROMO BRUSHED",
+    "STANDARD POLISHED",
+    "SMALL PLATED",
+    "MEDIUM BURNISHED",
+    "ECONOMY ANODIZED",
+    "LARGE BRUSHED",
+];
 const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
 const LINE_STATUS: [&str; 2] = ["O", "F"];
 
@@ -248,7 +254,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
             Value::str(format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
             Value::str(TYPES[rng.gen_range(0..TYPES.len())]),
             Value::Int(rng.gen_range(1..51)),
-            Value::str(["SM BOX", "MED BAG", "LG CASE", "JUMBO DRUM"][rng.gen_range(0..4)]),
+            Value::str(["SM BOX", "MED BAG", "LG CASE", "JUMBO DRUM"][rng.gen_range(0..4usize)]),
             Value::Float(900.0 + (k % 200) as f64),
         ]))
         .unwrap();

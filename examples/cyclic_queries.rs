@@ -37,8 +37,7 @@ fn main() {
     let tag5 = TagGraph::build(&db5);
     let names5 = ["e0", "e1", "e2", "e3", "e4"];
     let expected5 = brute_force_cycles(&db5, &names5).unwrap();
-    let (count5, stats5) =
-        count_cycles(&tag5, &names5, Some(20), EngineConfig::default()).unwrap();
+    let (count5, stats5) = count_cycles(&tag5, &names5, Some(20), EngineConfig::default()).unwrap();
     assert_eq!(count5, expected5);
     println!(
         "\n5-cycles: {count5} (oracle {expected5}), {} messages, {} supersteps",

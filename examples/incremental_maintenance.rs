@@ -41,9 +41,7 @@ fn main() {
 
     // The graph still answers queries.
     let exec = TagJoinExecutor::new(&tag, EngineConfig::default());
-    let out = exec
-        .run_sql("SELECT COUNT(*) AS orders FROM orders o")
-        .expect("count runs");
+    let out = exec.run_sql("SELECT COUNT(*) AS orders FROM orders o").expect("count runs");
     println!("orders remaining: {}", out.relation.tuples[0]);
 
     // Round-trip: the decoded database matches the graph's contents.

@@ -6,7 +6,7 @@
 use vcsql::bsp::EngineConfig;
 use vcsql::core::TagJoinExecutor;
 use vcsql::relation::schema::{Column, Schema};
-use vcsql::relation::{Database, DataType, Relation, Tuple, Value};
+use vcsql::relation::{DataType, Database, Relation, Tuple, Value};
 use vcsql::tag::TagGraph;
 
 fn main() {

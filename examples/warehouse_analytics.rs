@@ -25,11 +25,7 @@ fn main() {
         let t1 = std::time::Instant::now();
         let oracle = baseline(&analyzed, &db, ExecConfig::default()).expect("baseline runs");
         let base_ms = t1.elapsed().as_secs_f64() * 1e3;
-        assert!(
-            out.relation.same_bag_approx(&oracle, 1e-9),
-            "{}: engines disagree!",
-            q.id
-        );
+        assert!(out.relation.same_bag_approx(&oracle, 1e-9), "{}: engines disagree!", q.id);
         println!(
             "{:>4} ({:<42}) rows={:<5} supersteps={:<3} msgs={:<8} tag={:>7.2}ms row={:>7.2}ms",
             q.id,

@@ -9,7 +9,7 @@ use vcsql::bsp::EngineConfig;
 use vcsql::core::TagJoinExecutor;
 use vcsql::query::{analyze::analyze, parse};
 use vcsql::relation::schema::{Column, Schema};
-use vcsql::relation::{Database, DataType, Relation, Tuple, Value};
+use vcsql::relation::{DataType, Database, Relation, Tuple, Value};
 use vcsql::tag::{MaterializePolicy, TagBuilder, TagGraph};
 
 /// A random database of `n` binary int tables t0(a,b), t1(a,b), ... with
@@ -26,8 +26,11 @@ fn arb_db(n_tables: usize) -> impl Strategy<Value = Database> {
             let mut rel = Relation::empty(schema);
             for (a, b) in rows {
                 let b = b.map(Value::Int).unwrap_or(Value::Null);
-                rel.push(Tuple::new(vec![Value::Int(a), Value::Int(b.as_i64().unwrap_or(0)).clone()]))
-                    .ok();
+                rel.push(Tuple::new(vec![
+                    Value::Int(a),
+                    Value::Int(b.as_i64().unwrap_or(0)).clone(),
+                ]))
+                .ok();
                 let last = rel.tuples.len() - 1;
                 // Reintroduce NULLs directly (push validated the type).
                 if b.is_null() {
@@ -54,12 +57,7 @@ fn chain_sql(n: usize, filter_lit: i64, agg: bool) -> String {
             preds.join(" AND ")
         )
     } else {
-        format!(
-            "SELECT t0.a, t{}.b FROM {} WHERE {}",
-            n - 1,
-            from.join(", "),
-            preds.join(" AND ")
-        )
+        format!("SELECT t0.a, t{}.b FROM {} WHERE {}", n - 1, from.join(", "), preds.join(" AND "))
     }
 }
 

@@ -7,7 +7,7 @@ use vcsql::bsp::{EngineConfig, Partitioning};
 use vcsql::core::TagJoinExecutor;
 use vcsql::query::{analyze::analyze, parse};
 use vcsql::relation::schema::{Column, Schema};
-use vcsql::relation::{Database, DataType, Relation};
+use vcsql::relation::{DataType, Database, Relation};
 use vcsql::tag::TagGraph;
 use vcsql::workload::{tpcds, tpch};
 
@@ -19,9 +19,7 @@ fn distributed_results_equal_single_machine() {
     let tag = TagGraph::build(&db);
     for q in tpch::queries().iter().take(8) {
         let a = analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap();
-        let single = TagJoinExecutor::new(&tag, EngineConfig::with_threads(2))
-            .execute(&a)
-            .unwrap();
+        let single = TagJoinExecutor::new(&tag, EngineConfig::with_threads(2)).execute(&a).unwrap();
         let partitioned = TagJoinExecutor::new(&tag, EngineConfig::with_threads(2))
             .with_partitioning(Partitioning::hash(tag.graph(), 6))
             .execute(&a)
@@ -67,11 +65,8 @@ fn thread_count_invariance_on_workload() {
 fn empty_relations_are_queryable() {
     let mut db = Database::new();
     db.add(Relation::empty(
-        Schema::new(
-            "r",
-            vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
-        )
-        .with_primary_key(&["a"]),
+        Schema::new("r", vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)])
+            .with_primary_key(&["a"]),
     ));
     db.add(Relation::empty(Schema::new(
         "s",

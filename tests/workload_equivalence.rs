@@ -22,7 +22,11 @@ fn run_suite(db: &Database, queries: &[BenchQuery]) {
             .unwrap_or_else(|e| panic!("{}: hash baseline: {e}", q.id));
         let merge = baseline(&analyzed, db, ExecConfig { join: JoinAlgo::SortMerge })
             .unwrap_or_else(|e| panic!("{}: sort-merge baseline: {e}", q.id));
-        assert!(hash.same_bag_approx(&merge, 1e-9), "{}: hash and sort-merge baselines disagree", q.id);
+        assert!(
+            hash.same_bag_approx(&merge, 1e-9),
+            "{}: hash and sort-merge baselines disagree",
+            q.id
+        );
 
         let got = exec.execute(&analyzed).unwrap_or_else(|e| panic!("{}: tag-join: {e}", q.id));
         assert!(
