@@ -1,6 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
-//! Usage: `cargo run --release -p vcsql-bench --bin repro -- <mode> [--sf a,b,c]`
+//! Usage: `cargo run --release -p vcsql-bench --bin repro -- <mode>
+//!         [--sf a,b,c] [--partitioning hash,colocate,refined]`
 //!
 //! Modes (see DESIGN.md experiment index):
 //!   loading         Tables 1-2: data loading times
@@ -20,59 +21,127 @@
 
 use std::collections::BTreeMap;
 use vcsql_bench::{markdown_table, ms, prepare, run_system, speedup, time, Loaded, System};
-use vcsql_bsp::EngineConfig;
+use vcsql_bsp::{EngineConfig, PartitionStrategy};
 use vcsql_core::cyclic;
 use vcsql_core::twoway::{two_way_join, TwoWaySpec};
-use vcsql_dist::{tag_distributed, SparkModel};
+use vcsql_dist::{tag_distributed, tag_distributed_under, tag_partitioning, SparkModel};
 use vcsql_query::AggClass;
 use vcsql_relation::mem::human_bytes;
 use vcsql_relation::Database;
 use vcsql_tag::TagGraph;
 use vcsql_workload::{synthetic, tpcds, tpch, BenchQuery};
 
+const USAGE: &str = "\
+usage: repro <mode> [--sf a,b,c] [--partitioning hash,colocate,refined]
+
+modes:
+  loading sizes tpch tpcds tpch-classes tpcds-matrix tpcds-classes
+  agg-breakdown memory distributed cost-model triangle-theta reshuffle all
+
+flags:
+  --sf a,b,c             comma-separated positive scale factors
+                         (default 0.01,0.02,0.05; single-SF modes use the last)
+  --partitioning s,...   TAG placement strategies for `distributed`
+                         (any of hash, colocate, refined; default all three)";
+
+/// Print an argument error plus the usage text and exit with status 2.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_sfs(raw: &str) -> Vec<f64> {
+    let sfs: Vec<f64> = raw
+        .split(',')
+        .map(|x| match x.parse::<f64>() {
+            Ok(sf) if sf.is_finite() && sf > 0.0 => sf,
+            _ => usage_error(&format!("bad --sf value `{x}` (want a positive number)")),
+        })
+        .collect();
+    if sfs.is_empty() {
+        usage_error("--sf needs at least one value");
+    }
+    sfs
+}
+
+fn parse_strategies(raw: &str) -> Vec<PartitionStrategy> {
+    raw.split(',')
+        .map(|s| {
+            PartitionStrategy::parse(s).unwrap_or_else(|| {
+                usage_error(&format!(
+                    "bad --partitioning value `{s}` (want hash, colocate or refined)"
+                ))
+            })
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mode = args.first().map(String::as_str).unwrap_or("all");
-    let sfs = args
-        .iter()
-        .position(|a| a == "--sf")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.split(',').map(|x| x.parse::<f64>().expect("bad --sf")).collect::<Vec<_>>())
-        .unwrap_or_else(|| vec![0.01, 0.02, 0.05]);
+    let mut mode: Option<String> = None;
+    let mut sfs = vec![0.01, 0.02, 0.05];
+    let mut strategies = PartitionStrategy::ALL.to_vec();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--sf" => {
+                let raw = args.get(i + 1).unwrap_or_else(|| usage_error("--sf needs a value"));
+                sfs = parse_sfs(raw);
+                i += 2;
+            }
+            "--partitioning" => {
+                let raw =
+                    args.get(i + 1).unwrap_or_else(|| usage_error("--partitioning needs a value"));
+                strategies = parse_strategies(raw);
+                i += 2;
+            }
+            flag if flag.starts_with('-') => usage_error(&format!("unknown flag `{flag}`")),
+            m => {
+                if mode.is_some() {
+                    usage_error(&format!("unexpected extra argument `{m}`"));
+                }
+                mode = Some(m.to_string());
+                i += 1;
+            }
+        }
+    }
+    let mode = mode.unwrap_or_else(|| "all".to_string());
+    let last_sf = sfs[sfs.len() - 1];
 
-    match mode {
+    match mode.as_str() {
         "loading" => loading(&sfs),
         "sizes" => sizes(&sfs),
         "tpch" => runtimes("TPC-H", &sfs, tpch::generate, &tpch::queries()),
         "tpcds" => runtimes("TPC-DS", &sfs, tpcds::generate, &tpcds::queries()),
-        "tpch-classes" => tpch_classes(sfs[sfs.len() - 1]),
-        "tpcds-matrix" => tpcds_matrix(sfs[sfs.len() - 1]),
-        "tpcds-classes" => tpcds_classes(sfs[sfs.len() - 1]),
-        "agg-breakdown" => agg_breakdown(sfs[sfs.len() - 1]),
-        "memory" => memory(sfs[sfs.len() - 1]),
-        "distributed" => distributed(sfs[sfs.len() - 1]),
+        "tpch-classes" => tpch_classes(last_sf),
+        "tpcds-matrix" => tpcds_matrix(last_sf),
+        "tpcds-classes" => tpcds_classes(last_sf),
+        "agg-breakdown" => agg_breakdown(last_sf),
+        "memory" => memory(last_sf),
+        "distributed" => distributed(last_sf, &strategies),
         "cost-model" => cost_model(),
         "triangle-theta" => triangle_theta(),
-        "reshuffle" => reshuffle(sfs[sfs.len() - 1]),
+        "reshuffle" => reshuffle(last_sf),
         "all" => {
             loading(&sfs);
             sizes(&sfs);
             runtimes("TPC-H", &sfs, tpch::generate, &tpch::queries());
             runtimes("TPC-DS", &sfs, tpcds::generate, &tpcds::queries());
-            tpch_classes(sfs[sfs.len() - 1]);
-            tpcds_matrix(sfs[sfs.len() - 1]);
-            tpcds_classes(sfs[sfs.len() - 1]);
-            agg_breakdown(sfs[sfs.len() - 1]);
-            memory(sfs[sfs.len() - 1]);
-            distributed(sfs[sfs.len() - 1]);
+            tpch_classes(last_sf);
+            tpcds_matrix(last_sf);
+            tpcds_classes(last_sf);
+            agg_breakdown(last_sf);
+            memory(last_sf);
+            distributed(last_sf, &strategies);
             cost_model();
             triangle_theta();
-            reshuffle(sfs[sfs.len() - 1]);
+            reshuffle(last_sf);
         }
-        other => {
-            eprintln!("unknown mode `{other}`; see --help in the module docs");
-            std::process::exit(2);
-        }
+        other => usage_error(&format!("unknown mode `{other}`")),
     }
 }
 
@@ -371,8 +440,10 @@ fn memory(sf: f64) {
     }
 }
 
-/// E13 — Fig 16 + Tables 16-17: distributed runtime model + network bytes.
-fn distributed(sf: f64) {
+/// E13 — Fig 16 + Tables 16-17: distributed runtime model + network bytes,
+/// per TAG placement strategy (the locality-aware strategies are what close
+/// the gap to the paper's 9x spark/tag traffic ratio).
+fn distributed(sf: f64, strategies: &[PartitionStrategy]) {
     println!("\n## E13 — Distributed cluster simulation, 6 machines (paper Fig 16)\n");
     for (name, genf, queries) in [
         ("TPC-H", tpch::generate as fn(f64, u64) -> Database, tpch::queries()),
@@ -381,46 +452,63 @@ fn distributed(sf: f64) {
         let db = genf(sf, SEED);
         let tag = TagGraph::build(&db);
         let spark = SparkModel::default();
+        // Build each partitioning once, reuse across the whole workload.
+        let parts: Vec<_> =
+            strategies.iter().map(|&s| (s, tag_partitioning(&tag, spark.machines, s))).collect();
         let mut rows = Vec::new();
-        let (mut tag_total, mut spark_total) = (0u64, 0u64);
-        let (mut tag_time, mut spark_time) = (0.0f64, 0.0f64);
+        let mut tag_totals = vec![0u64; parts.len()];
+        let mut tag_times = vec![0.0f64; parts.len()];
+        let (mut spark_total, mut spark_time) = (0u64, 0.0f64);
         for q in &queries {
             let a =
                 vcsql_query::analyze::analyze(&vcsql_query::parse(q.sql).unwrap(), tag.schemas())
                     .expect("analyzes");
-            let ((out, net), secs) = time(|| {
-                tag_distributed(&tag, &a, spark.machines, EngineConfig::default()).unwrap()
-            });
-            let _ = out;
+            let mut row = vec![q.id.to_string()];
+            for (i, (_, p)) in parts.iter().enumerate() {
+                // Clone outside the timed region: partition copies are setup,
+                // not the per-query local work the runtime model charges.
+                let p = p.clone();
+                let (tag_ref, a_ref) = (&tag, &a);
+                let ((_, net), secs) = time(move || {
+                    tag_distributed_under(tag_ref, a_ref, p, EngineConfig::default()).unwrap()
+                });
+                tag_totals[i] += net.network_bytes;
+                // Modelled runtime: measured local work + network at 1 GB/s.
+                tag_times[i] += vcsql_dist::modelled_runtime(secs, &net, 1e9);
+                row.push(human_bytes(net.network_bytes as usize));
+            }
             let (spark_net, spark_secs) = time(|| spark.run(&a, &db).unwrap());
-            tag_total += net.network_bytes;
             spark_total += spark_net.network_bytes;
-            // Modelled runtime: measured local work + network at 1 GB/s.
-            tag_time += vcsql_dist::modelled_runtime(secs, &net, 1e9);
             spark_time += vcsql_dist::modelled_runtime(spark_secs, &spark_net, 1e9);
-            rows.push(vec![
-                q.id.to_string(),
-                human_bytes(net.network_bytes as usize),
-                human_bytes(spark_net.network_bytes as usize),
-            ]);
+            row.push(human_bytes(spark_net.network_bytes as usize));
+            rows.push(row);
         }
-        rows.push(vec![
-            "**total**".into(),
-            format!("**{}**", human_bytes(tag_total as usize)),
-            format!("**{}**", human_bytes(spark_total as usize)),
-        ]);
+        let mut total_row = vec!["**total**".to_string()];
+        for &t in &tag_totals {
+            total_row.push(format!("**{}**", human_bytes(t as usize)));
+        }
+        total_row.push(format!("**{}**", human_bytes(spark_total as usize)));
+        rows.push(total_row);
+
+        let mut headers = vec!["query".to_string()];
+        headers.extend(parts.iter().map(|(s, _)| format!("tag net ({})", s.name())));
+        headers.push("spark_model net".to_string());
         println!("### {name} @ SF {sf} — network traffic per query\n");
-        println!(
-            "{}",
-            markdown_table(&["query", "tag_join net", "spark_model net"].map(String::from), &rows)
-        );
-        println!(
-            "aggregate modelled runtime: tag_join {:.3}s vs spark_model {:.3}s; \
-             traffic ratio spark/tag = {:.1}x\n",
-            tag_time,
-            spark_time,
-            spark_total as f64 / tag_total.max(1) as f64
-        );
+        println!("{}", markdown_table(&headers, &rows));
+        println!("spark_model modelled runtime: {spark_time:.3}s\n");
+        for (i, (s, p)) in parts.iter().enumerate() {
+            let d = p.diagnostics(tag.graph());
+            println!(
+                "{:>9}: spark/tag traffic ratio = {:5.1}x | modelled runtime {:7.3}s | \
+                 edge cut {:5.1}% | load imbalance {:.2}",
+                s.name(),
+                spark_total as f64 / tag_totals[i].max(1) as f64,
+                tag_times[i],
+                100.0 * d.edge_cut_fraction,
+                d.load_imbalance,
+            );
+        }
+        println!();
     }
 }
 

@@ -1,0 +1,72 @@
+//! Integration tests for the `repro` binary's command line: argument errors
+//! must print a usage message and exit with status 2 (never panic), and the
+//! happy path must keep producing the experiment tables. The binary is
+//! spawned for real via the path Cargo exports to integration tests.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("repro binary spawns")
+}
+
+fn assert_usage_exit(args: &[&str], expect_in_stderr: &str) {
+    let out = repro(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?}: expected exit 2, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: repro"), "{args:?}: no usage text in\n{stderr}");
+    assert!(stderr.contains(expect_in_stderr), "{args:?}: missing `{expect_in_stderr}`\n{stderr}");
+    // The panic path this replaces would have tripped Rust's handler.
+    assert!(!stderr.contains("panicked"), "{args:?}: CLI panicked\n{stderr}");
+}
+
+#[test]
+fn bad_sf_value_is_a_usage_error() {
+    assert_usage_exit(&["tpch", "--sf", "abc"], "bad --sf value `abc`");
+    assert_usage_exit(&["tpch", "--sf", "0.01,nope"], "bad --sf value `nope`");
+    assert_usage_exit(&["tpch", "--sf", "-0.5"], "bad --sf value `-0.5`");
+    assert_usage_exit(&["tpch", "--sf", "0"], "bad --sf value `0`");
+}
+
+#[test]
+fn missing_flag_values_are_usage_errors() {
+    assert_usage_exit(&["tpch", "--sf"], "--sf needs a value");
+    assert_usage_exit(&["distributed", "--partitioning"], "--partitioning needs a value");
+}
+
+#[test]
+fn bad_partitioning_and_unknown_args_are_usage_errors() {
+    assert_usage_exit(&["distributed", "--partitioning", "metis"], "bad --partitioning value");
+    assert_usage_exit(&["--frobnicate"], "unknown flag");
+    assert_usage_exit(&["no-such-mode"], "unknown mode");
+    assert_usage_exit(&["tpch", "tpcds"], "unexpected extra argument");
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: repro"));
+}
+
+#[test]
+fn distributed_smoke_reports_all_strategies() {
+    // Tiny scale factor keeps this fast even in debug builds.
+    let out = repro(&["distributed", "--sf", "0.004", "--partitioning", "hash,colocate,refined"]);
+    assert!(
+        out.status.success(),
+        "distributed smoke failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["tag net (hash)", "tag net (colocate)", "tag net (refined)"] {
+        assert!(stdout.contains(name), "missing column `{name}`:\n{stdout}");
+    }
+    assert!(stdout.contains("spark/tag traffic ratio"), "{stdout}");
+    assert!(stdout.contains("edge cut"), "{stdout}");
+}

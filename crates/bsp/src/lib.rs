@@ -12,7 +12,10 @@
 //! * per-superstep and total statistics: messages, bytes, active vertices —
 //!   the paper's *communication cost* measure, and
 //! * optional machine [`Partitioning`] so a distributed cluster can be
-//!   simulated by counting cross-machine traffic (used by `vcsql-dist`).
+//!   simulated by counting cross-machine traffic (used by `vcsql-dist`),
+//!   with pluggable placement strategies ([`PartitionStrategy`]: hash
+//!   baseline, anchor co-location, label-propagation refinement) and
+//!   edge-cut/balance [`PartitionDiagnostics`].
 //!
 //! Two levels of API:
 //!
@@ -34,6 +37,9 @@ pub mod stats;
 pub use engine::{Computation, EngineConfig, Outbox, VertexCtx};
 pub use graph::{Edge, Graph, GraphBuilder, VertexId};
 pub use interner::{Interner, LabelId};
-pub use partition::Partitioning;
+pub use partition::{
+    balance_cap, PartitionDiagnostics, PartitionStrategy, Partitioning, RefineConfig,
+    DEFAULT_BALANCE_SLACK,
+};
 pub use program::{run_program, Aggregator, Message, VertexProgram};
 pub use stats::{RunStats, StepStats};

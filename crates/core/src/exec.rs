@@ -34,7 +34,8 @@ use crate::table::{ColKey, Partial, Table, TagMsg};
 use std::sync::Arc;
 use vcsql_bsp::program::Aggregator;
 use vcsql_bsp::{
-    Computation, EngineConfig, LabelId, Partitioning, RunStats, StepStats, VertexCtx, VertexId,
+    Computation, EngineConfig, LabelId, PartitionStrategy, Partitioning, RunStats, StepStats,
+    VertexCtx, VertexId,
 };
 use vcsql_query::analyze::{lower_subquery, Analyzed, LoweredSubquery, OutputItem};
 use vcsql_query::gyo::{decompose, Decomposition};
@@ -85,6 +86,21 @@ impl<'t> TagJoinExecutor<'t> {
     pub fn with_partitioning(mut self, p: Partitioning) -> Self {
         self.partitioning = Some(p);
         self
+    }
+
+    /// Attach a partitioning built by `strategy` over `machines` simulated
+    /// machines. The TAG's attribute vertices are the anchors of the
+    /// locality-aware strategies (tuple vertices co-locate with them);
+    /// network accounting is the only effect — results never change.
+    pub fn with_partition_strategy(self, strategy: PartitionStrategy, machines: usize) -> Self {
+        let tag = self.tag;
+        let p = strategy.partition(tag.graph(), machines, &|v| !tag.is_tuple_vertex(v));
+        self.with_partitioning(p)
+    }
+
+    /// The attached partitioning, if any (for diagnostics).
+    pub fn partitioning(&self) -> Option<&Partitioning> {
+        self.partitioning.as_ref()
     }
 
     /// Parse, analyze and execute a SQL string.

@@ -1,11 +1,15 @@
 //! Property-based tests: on random databases and random join/filter/agg
 //! queries, the vertex-centric executor must agree with the relational
 //! baseline; TAG encoding must round-trip; incremental construction must
-//! equal bulk construction.
+//! equal bulk construction; every partitioning strategy must satisfy the
+//! placement invariants on random graphs and machine counts.
 
 use proptest::prelude::*;
 use vcsql::baseline::{execute as baseline, ExecConfig};
-use vcsql::bsp::EngineConfig;
+use vcsql::bsp::{
+    balance_cap, EngineConfig, Graph, GraphBuilder, PartitionStrategy, VertexId,
+    DEFAULT_BALANCE_SLACK,
+};
 use vcsql::core::TagJoinExecutor;
 use vcsql::query::{analyze::analyze, parse};
 use vcsql::relation::schema::{Column, Schema};
@@ -61,8 +65,96 @@ fn chain_sql(n: usize, filter_lit: i64, agg: bool) -> String {
     }
 }
 
+/// A random bipartite TAG-shaped graph: `tuples` tuple vertices over two
+/// relation labels, `attrs` attribute vertices, and random `r.x`/`s.y`
+/// edges between them. Returns the graph; anchors are the `@v`-labelled
+/// vertices (ids `>= tuples`).
+fn bipartite_graph(tuples: usize, attrs: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let lr = b.vertex_label("r");
+    let ls = b.vertex_label("s");
+    let la = b.vertex_label("@v");
+    let er = b.edge_label("r.x");
+    let es = b.edge_label("s.y");
+    for i in 0..tuples {
+        b.add_vertex(if i % 2 == 0 { lr } else { ls });
+    }
+    for _ in 0..attrs {
+        b.add_vertex(la);
+    }
+    for &(t, a) in edges {
+        let t = t % tuples;
+        let a = tuples + (a % attrs);
+        b.add_undirected_edge(t as VertexId, a as VertexId, if t % 2 == 0 { er } else { es });
+    }
+    b.finish()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Partitioning invariants for every strategy on random graphs and
+    /// machine counts: total-preserving loads, assignments within bounds,
+    /// determinism across runs, and `crosses` consistent with `machine_of`.
+    #[test]
+    fn partitioning_invariants_hold_for_every_strategy(
+        tuples in 1usize..40,
+        attrs in 1usize..20,
+        edges in prop::collection::vec((0usize..64, 0usize..64), 0..120),
+        machines in 1usize..=8,
+    ) {
+        let g = bipartite_graph(tuples, attrs, &edges);
+        let is_anchor = |v: VertexId| (v as usize) >= tuples;
+        let n = g.vertex_count();
+        for strategy in PartitionStrategy::ALL {
+            let p = strategy.partition(&g, machines, &is_anchor);
+
+            // Total-preserving load: every vertex on exactly one machine.
+            let load = p.load();
+            prop_assert_eq!(load.len(), machines, "{}", strategy.name());
+            prop_assert_eq!(load.iter().sum::<usize>(), n, "{}", strategy.name());
+
+            // Machines within u16 bounds, every assignment in range.
+            prop_assert!(p.machines() == machines && machines <= u16::MAX as usize);
+            for v in g.vertices() {
+                prop_assert!((p.machine_of(v) as usize) < p.machines(), "{}", strategy.name());
+            }
+
+            // Deterministic: a second build yields the identical assignment.
+            let q = strategy.partition(&g, machines, &is_anchor);
+            for v in g.vertices() {
+                prop_assert_eq!(p.machine_of(v), q.machine_of(v), "{}", strategy.name());
+            }
+
+            // crosses(a, b) consistent with machine_of on all pairs.
+            for a in g.vertices() {
+                for bb in g.vertices() {
+                    prop_assert_eq!(
+                        p.crosses(a, bb),
+                        p.machine_of(a) != p.machine_of(bb),
+                        "{}", strategy.name()
+                    );
+                }
+            }
+
+            // Diagnostics agree with the invariants above.
+            let d = p.diagnostics(&g);
+            prop_assert_eq!(d.vertices, n);
+            prop_assert_eq!(d.total_edges, g.edge_count());
+            prop_assert!(d.cut_edges <= d.total_edges);
+            prop_assert!(d.min_load <= d.max_load && d.max_load <= n);
+
+            // Locality-aware strategies respect the balance cap; one machine
+            // trivially holds everything.
+            if strategy != PartitionStrategy::Hash {
+                let cap = balance_cap(n, machines, DEFAULT_BALANCE_SLACK);
+                prop_assert!(
+                    d.max_load <= cap,
+                    "{}: load {} over cap {}", strategy.name(), d.max_load, cap
+                );
+            }
+        }
+    }
 
     #[test]
     fn tag_join_matches_baseline_on_random_chains(
