@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! Usage: `cargo run --release -p vcsql-bench --bin repro -- <mode>
-//!         [--sf a,b,c] [--partitioning hash,colocate,refined]`
+//!         [--sf a,b,c] [--partitioning hash,colocate,refined,workload]
+//!         [--profile-from tpch|tpcds] [--bandwidth bytes_per_sec]`
 //!
 //! Modes (see DESIGN.md experiment index):
 //!   loading         Tables 1-2: data loading times
@@ -21,7 +22,7 @@
 
 use std::collections::BTreeMap;
 use vcsql_bench::{markdown_table, ms, prepare, run_system, speedup, time, Loaded, System};
-use vcsql_bsp::{EngineConfig, PartitionStrategy};
+use vcsql_bsp::{EngineConfig, PartitionStrategy, TrafficProfile};
 use vcsql_core::cyclic;
 use vcsql_core::twoway::{two_way_join, TwoWaySpec};
 use vcsql_dist::{tag_distributed, tag_distributed_under, tag_partitioning, SparkModel};
@@ -32,7 +33,8 @@ use vcsql_tag::TagGraph;
 use vcsql_workload::{synthetic, tpcds, tpch, BenchQuery};
 
 const USAGE: &str = "\
-usage: repro <mode> [--sf a,b,c] [--partitioning hash,colocate,refined]
+usage: repro <mode> [--sf a,b,c] [--partitioning hash,colocate,refined,workload]
+             [--profile-from tpch|tpcds] [--bandwidth bytes_per_sec]
 
 modes:
   loading sizes tpch tpcds tpch-classes tpcds-matrix tpcds-classes
@@ -41,8 +43,17 @@ modes:
 flags:
   --sf a,b,c             comma-separated positive scale factors
                          (default 0.01,0.02,0.05; single-SF modes use the last)
-  --partitioning s,...   TAG placement strategies for `distributed`
-                         (any of hash, colocate, refined; default all three)";
+  --partitioning s,...   TAG placement strategies for `distributed` (any of
+                         hash, colocate, refined, workload; default
+                         hash,colocate,refined). `workload` first calibrates
+                         per-edge-label traffic with a hash-placed run of the
+                         profile workload, then re-partitions for it
+  --profile-from m       workload whose observed traffic calibrates the
+                         `workload` strategy: tpch or tpcds (default: the
+                         workload being measured; crossing them shows how
+                         skew-sensitive the placement is)
+  --bandwidth n          modelled network bandwidth in bytes/sec for the
+                         distributed runtime model (default 1e9)";
 
 /// Print an argument error plus the usage text and exit with status 2.
 fn usage_error(msg: &str) -> ! {
@@ -69,11 +80,27 @@ fn parse_strategies(raw: &str) -> Vec<PartitionStrategy> {
         .map(|s| {
             PartitionStrategy::parse(s).unwrap_or_else(|| {
                 usage_error(&format!(
-                    "bad --partitioning value `{s}` (want hash, colocate or refined)"
+                    "bad --partitioning value `{s}` (want hash, colocate, refined or workload)"
                 ))
             })
         })
         .collect()
+}
+
+fn parse_profile_from(raw: &str) -> &str {
+    match raw {
+        "tpch" | "tpcds" => raw,
+        _ => usage_error(&format!("bad --profile-from value `{raw}` (want tpch or tpcds)")),
+    }
+}
+
+fn parse_bandwidth(raw: &str) -> f64 {
+    match raw.parse::<f64>() {
+        Ok(b) if b.is_finite() && b > 0.0 => b,
+        _ => usage_error(&format!(
+            "bad --bandwidth value `{raw}` (want a positive number of bytes/sec)"
+        )),
+    }
 }
 
 fn main() {
@@ -81,6 +108,9 @@ fn main() {
     let mut mode: Option<String> = None;
     let mut sfs = vec![0.01, 0.02, 0.05];
     let mut strategies = PartitionStrategy::ALL.to_vec();
+    let mut profile_from: Option<String> = None;
+    let mut bandwidth = 1e9;
+    let mut distributed_flag: Option<&'static str> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -97,6 +127,21 @@ fn main() {
                 let raw =
                     args.get(i + 1).unwrap_or_else(|| usage_error("--partitioning needs a value"));
                 strategies = parse_strategies(raw);
+                distributed_flag = Some("--partitioning");
+                i += 2;
+            }
+            "--profile-from" => {
+                let raw =
+                    args.get(i + 1).unwrap_or_else(|| usage_error("--profile-from needs a value"));
+                profile_from = Some(parse_profile_from(raw).to_string());
+                distributed_flag = Some("--profile-from");
+                i += 2;
+            }
+            "--bandwidth" => {
+                let raw =
+                    args.get(i + 1).unwrap_or_else(|| usage_error("--bandwidth needs a value"));
+                bandwidth = parse_bandwidth(raw);
+                distributed_flag = Some("--bandwidth");
                 i += 2;
             }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag `{flag}`")),
@@ -111,6 +156,18 @@ fn main() {
     }
     let mode = mode.unwrap_or_else(|| "all".to_string());
     let last_sf = sfs[sfs.len() - 1];
+    // The distributed-simulation flags would be silently ignored by every
+    // other mode — reject the combination instead of misleading the user.
+    if let Some(flag) = distributed_flag {
+        if !matches!(mode.as_str(), "distributed" | "all") {
+            usage_error(&format!("{flag} only applies to the `distributed` (or `all`) mode"));
+        }
+    }
+    if profile_from.is_some()
+        && !strategies.iter().any(|s| matches!(s, PartitionStrategy::Workload(_)))
+    {
+        usage_error("--profile-from requires --partitioning to include `workload`");
+    }
 
     match mode.as_str() {
         "loading" => loading(&sfs),
@@ -122,7 +179,7 @@ fn main() {
         "tpcds-classes" => tpcds_classes(last_sf),
         "agg-breakdown" => agg_breakdown(last_sf),
         "memory" => memory(last_sf),
-        "distributed" => distributed(last_sf, &strategies),
+        "distributed" => distributed(last_sf, &strategies, profile_from.as_deref(), bandwidth),
         "cost-model" => cost_model(),
         "triangle-theta" => triangle_theta(),
         "reshuffle" => reshuffle(last_sf),
@@ -136,7 +193,7 @@ fn main() {
             tpcds_classes(last_sf);
             agg_breakdown(last_sf);
             memory(last_sf);
-            distributed(last_sf, &strategies);
+            distributed(last_sf, &strategies, profile_from.as_deref(), bandwidth);
             cost_model();
             triangle_theta();
             reshuffle(last_sf);
@@ -440,21 +497,87 @@ fn memory(sf: f64) {
     }
 }
 
+/// Workload generator + suite for a mode name (`--profile-from` values are
+/// validated at parse time, so anything else cannot reach this).
+fn workload_by_mode(mode: &str) -> (fn(f64, u64) -> Database, Vec<BenchQuery>) {
+    match mode {
+        "tpch" => (tpch::generate as fn(f64, u64) -> Database, tpch::queries()),
+        "tpcds" => (tpcds::generate, tpcds::queries()),
+        other => unreachable!("profile source `{other}` not caught by parse_profile_from"),
+    }
+}
+
+/// Observed per-edge-label traffic of a whole workload on its own TAG
+/// (phase 1 of the `workload` strategy: a hash-placed calibration run).
+fn calibration_profile(tag: &TagGraph, queries: &[BenchQuery], machines: usize) -> TrafficProfile {
+    let analyzed: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            vcsql_query::analyze::analyze(&vcsql_query::parse(q.sql).unwrap(), tag.schemas())
+                .expect("workload query analyzes")
+        })
+        .collect();
+    vcsql_dist::tag_calibrate(tag, &analyzed, machines, EngineConfig::default())
+        .expect("calibration run succeeds")
+}
+
 /// E13 — Fig 16 + Tables 16-17: distributed runtime model + network bytes,
 /// per TAG placement strategy (the locality-aware strategies are what close
-/// the gap to the paper's 9x spark/tag traffic ratio).
-fn distributed(sf: f64, strategies: &[PartitionStrategy]) {
+/// the gap to the paper's 9x spark/tag traffic ratio; `workload` re-weights
+/// them with traffic observed from a calibration run).
+fn distributed(sf: f64, strategies: &[PartitionStrategy], profile_from: Option<&str>, bw: f64) {
     println!("\n## E13 — Distributed cluster simulation, 6 machines (paper Fig 16)\n");
-    for (name, genf, queries) in [
-        ("TPC-H", tpch::generate as fn(f64, u64) -> Database, tpch::queries()),
-        ("TPC-DS", tpcds::generate, tpcds::queries()),
-    ] {
+    let runtime = |secs: f64, net: &vcsql_dist::NetStats| {
+        vcsql_dist::modelled_runtime(secs, net, bw).expect("bandwidth validated at parse time")
+    };
+    let wants_workload = strategies.iter().any(|s| matches!(s, PartitionStrategy::Workload(_)));
+    // Each calibration workload's profile is computed at most once: a
+    // self-profile reuses the measurement loop's own graph, and a fixed
+    // `--profile-from` profile computed in one iteration is reused by the
+    // next (only a genuinely foreign workload builds a second graph).
+    let mut profile_cache: Option<(String, TrafficProfile)> = None;
+    for (name, mode) in [("TPC-H", "tpch"), ("TPC-DS", "tpcds")] {
+        let (genf, queries) = workload_by_mode(mode);
         let db = genf(sf, SEED);
         let tag = TagGraph::build(&db);
         let spark = SparkModel::default();
+        // Materialize the `workload` strategy once per measured workload.
+        let workload_profile: Option<TrafficProfile> = wants_workload.then(|| {
+            let calib = profile_from.unwrap_or(mode);
+            let profile = match &profile_cache {
+                Some((m, p)) if m == calib => p.clone(),
+                _ => {
+                    let p = if calib == mode {
+                        calibration_profile(&tag, &queries, spark.machines)
+                    } else {
+                        let (genf2, queries2) = workload_by_mode(calib);
+                        let db2 = genf2(sf, SEED);
+                        let tag2 = TagGraph::build(&db2);
+                        calibration_profile(&tag2, &queries2, spark.machines)
+                    };
+                    profile_cache = Some((calib.to_string(), p.clone()));
+                    p
+                }
+            };
+            println!(
+                "({name}: `workload` strategy calibrated on {calib}, \
+                 {} profiled edge labels)\n",
+                profile.len()
+            );
+            profile
+        });
+        let materialized: Vec<PartitionStrategy> = strategies
+            .iter()
+            .map(|s| match s {
+                PartitionStrategy::Workload(_) => {
+                    s.clone().with_profile(workload_profile.clone().expect("calibrated above"))
+                }
+                other => other.clone(),
+            })
+            .collect();
         // Build each partitioning once, reuse across the whole workload.
         let parts: Vec<_> =
-            strategies.iter().map(|&s| (s, tag_partitioning(&tag, spark.machines, s))).collect();
+            materialized.iter().map(|s| (s, tag_partitioning(&tag, spark.machines, s))).collect();
         let mut rows = Vec::new();
         let mut tag_totals = vec![0u64; parts.len()];
         let mut tag_times = vec![0.0f64; parts.len()];
@@ -473,13 +596,13 @@ fn distributed(sf: f64, strategies: &[PartitionStrategy]) {
                     tag_distributed_under(tag_ref, a_ref, p, EngineConfig::default()).unwrap()
                 });
                 tag_totals[i] += net.network_bytes;
-                // Modelled runtime: measured local work + network at 1 GB/s.
-                tag_times[i] += vcsql_dist::modelled_runtime(secs, &net, 1e9);
+                // Modelled runtime: measured local work + network at `bw`.
+                tag_times[i] += runtime(secs, &net);
                 row.push(human_bytes(net.network_bytes as usize));
             }
             let (spark_net, spark_secs) = time(|| spark.run(&a, &db).unwrap());
             spark_total += spark_net.network_bytes;
-            spark_time += vcsql_dist::modelled_runtime(spark_secs, &spark_net, 1e9);
+            spark_time += runtime(spark_secs, &spark_net);
             row.push(human_bytes(spark_net.network_bytes as usize));
             rows.push(row);
         }

@@ -37,6 +37,8 @@ fn bad_sf_value_is_a_usage_error() {
 fn missing_flag_values_are_usage_errors() {
     assert_usage_exit(&["tpch", "--sf"], "--sf needs a value");
     assert_usage_exit(&["distributed", "--partitioning"], "--partitioning needs a value");
+    assert_usage_exit(&["distributed", "--profile-from"], "--profile-from needs a value");
+    assert_usage_exit(&["distributed", "--bandwidth"], "--bandwidth needs a value");
 }
 
 #[test]
@@ -48,6 +50,32 @@ fn bad_partitioning_and_unknown_args_are_usage_errors() {
 }
 
 #[test]
+fn bad_profile_from_and_bandwidth_are_usage_errors() {
+    assert_usage_exit(&["distributed", "--profile-from", "mongodb"], "bad --profile-from value");
+    // A profile source without a `workload` strategy to consume it would be
+    // silently ignored — reject it instead.
+    assert_usage_exit(
+        &["distributed", "--profile-from", "tpch"],
+        "--profile-from requires --partitioning to include `workload`",
+    );
+    // Likewise the distributed-only flags on a mode that never reads them.
+    assert_usage_exit(
+        &["tpch", "--bandwidth", "5e8"],
+        "--bandwidth only applies to the `distributed` (or `all`) mode",
+    );
+    assert_usage_exit(
+        &["loading", "--partitioning", "hash"],
+        "--partitioning only applies to the `distributed` (or `all`) mode",
+    );
+    // Non-positive or unparsable bandwidth must be a usage error, never the
+    // panic `modelled_runtime` used to raise deep in the run.
+    assert_usage_exit(&["distributed", "--bandwidth", "0"], "bad --bandwidth value");
+    assert_usage_exit(&["distributed", "--bandwidth", "-3"], "bad --bandwidth value");
+    assert_usage_exit(&["distributed", "--bandwidth", "fast"], "bad --bandwidth value");
+    assert_usage_exit(&["distributed", "--bandwidth", "inf"], "bad --bandwidth value");
+}
+
+#[test]
 fn help_prints_usage_and_exits_zero() {
     let out = repro(&["--help"]);
     assert!(out.status.success());
@@ -56,17 +84,51 @@ fn help_prints_usage_and_exits_zero() {
 
 #[test]
 fn distributed_smoke_reports_all_strategies() {
-    // Tiny scale factor keeps this fast even in debug builds.
-    let out = repro(&["distributed", "--sf", "0.004", "--partitioning", "hash,colocate,refined"]);
+    // Tiny scale factor keeps this fast even in debug builds. `workload`
+    // adds a calibration phase before the per-strategy table.
+    let out = repro(&[
+        "distributed",
+        "--sf",
+        "0.004",
+        "--partitioning",
+        "hash,colocate,refined,workload",
+    ]);
     assert!(
         out.status.success(),
         "distributed smoke failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for name in ["tag net (hash)", "tag net (colocate)", "tag net (refined)"] {
+    for name in ["tag net (hash)", "tag net (colocate)", "tag net (refined)", "tag net (workload)"]
+    {
         assert!(stdout.contains(name), "missing column `{name}`:\n{stdout}");
     }
+    assert!(stdout.contains("calibrated on tpch"), "{stdout}");
     assert!(stdout.contains("spark/tag traffic ratio"), "{stdout}");
     assert!(stdout.contains("edge cut"), "{stdout}");
+}
+
+#[test]
+fn distributed_smoke_cross_profiles_workloads() {
+    // Calibrating TPC-H's placement with TPC-DS traffic (and vice versa)
+    // must run end to end — the skew-sensitivity demonstration path.
+    let out = repro(&[
+        "distributed",
+        "--sf",
+        "0.004",
+        "--partitioning",
+        "workload",
+        "--profile-from",
+        "tpcds",
+        "--bandwidth",
+        "5e8",
+    ]);
+    assert!(
+        out.status.success(),
+        "cross-profiled smoke failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("calibrated on tpcds"), "{stdout}");
+    assert!(stdout.contains("tag net (workload)"), "{stdout}");
 }

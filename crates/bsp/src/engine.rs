@@ -26,7 +26,7 @@ use crate::graph::{Edge, Graph, VertexId};
 use crate::interner::LabelId;
 use crate::partition::Partitioning;
 use crate::program::{Aggregator, Message};
-use crate::stats::{RunStats, StepStats};
+use crate::stats::{LabelTraffic, RunStats, StepStats};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -107,10 +107,22 @@ impl<'a, 'p, V, M: Message> VertexCtx<'a, 'p, V, M> {
         self.graph
     }
 
-    /// Send a message to any vertex. Delivered at the next superstep.
+    /// Send a message to any vertex. Delivered at the next superstep. The
+    /// traffic is attributed to the [`LabelId::NONE`] bucket of the
+    /// per-label statistics; prefer [`VertexCtx::send_along`] when the send
+    /// travels a known edge label.
     #[inline]
     pub fn send(&mut self, target: VertexId, msg: M) {
-        self.out.send(self.vid, target, msg);
+        self.out.send(self.vid, target, LabelId::NONE, msg);
+    }
+
+    /// Send a message along an edge with the given label: identical delivery
+    /// semantics to [`VertexCtx::send`], but the traffic is attributed to
+    /// `label` in the run's per-label statistics (feeding workload-aware
+    /// partitioning's `TrafficProfile`).
+    #[inline]
+    pub fn send_along(&mut self, label: LabelId, target: VertexId, msg: M) {
+        self.out.send(self.vid, target, label, msg);
     }
 }
 
@@ -123,6 +135,10 @@ pub struct Outbox<'p, M: Message> {
     bytes: u64,
     network_messages: u64,
     network_bytes: u64,
+    /// Per-label traffic of this worker's sends. A superstep touches only a
+    /// handful of labels (TAG traversals: exactly one), so a linear-scan vec
+    /// beats a map on the send hot path.
+    per_label: Vec<(LabelId, LabelTraffic)>,
 }
 
 impl<'p, M: Message> Outbox<'p, M> {
@@ -134,19 +150,32 @@ impl<'p, M: Message> Outbox<'p, M> {
             bytes: 0,
             network_messages: 0,
             network_bytes: 0,
+            per_label: Vec::new(),
         }
     }
 
     #[inline]
-    fn send(&mut self, source: VertexId, target: VertexId, msg: M) {
+    fn send(&mut self, source: VertexId, target: VertexId, label: LabelId, msg: M) {
         let size = msg.byte_size() as u64;
         self.messages += 1;
         self.bytes += size;
-        if let Some(p) = self.partitioning {
-            if p.crosses(source, target) {
-                self.network_messages += 1;
-                self.network_bytes += size;
+        let crossing = self.partitioning.is_some_and(|p| p.crosses(source, target));
+        if crossing {
+            self.network_messages += 1;
+            self.network_bytes += size;
+        }
+        let entry = match self.per_label.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, t)) => t,
+            None => {
+                self.per_label.push((label, LabelTraffic::default()));
+                &mut self.per_label.last_mut().expect("just pushed").1
             }
+        };
+        entry.messages += 1;
+        entry.bytes += size;
+        if crossing {
+            entry.network_messages += 1;
+            entry.network_bytes += size;
         }
         let shard = target as usize % self.shards.len();
         self.shards[shard].push((target, msg));
@@ -361,11 +390,18 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
         let mut step = StepStats { active_vertices: active.len() as u64, ..Default::default() };
         let mut global = G::default();
         let mut worker_shards: Vec<Vec<Vec<(VertexId, M)>>> = Vec::with_capacity(results.len());
+        let mut step_labels: Vec<(LabelId, LabelTraffic)> = Vec::new();
         for (out, agg) in results {
             step.messages += out.messages;
             step.message_bytes += out.bytes;
             step.network_messages += out.network_messages;
             step.network_bytes += out.network_bytes;
+            for (label, t) in &out.per_label {
+                match step_labels.iter_mut().find(|(l, _)| l == label) {
+                    Some((_, acc)) => acc.add(t),
+                    None => step_labels.push((*label, *t)),
+                }
+            }
             global.merge(agg);
             worker_shards.push(out.shards);
         }
@@ -405,7 +441,7 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
         let mut next: Vec<VertexId> = newly_active.into_iter().flatten().collect();
         next.sort_unstable();
         self.active = next;
-        self.stats.record(step);
+        self.stats.record_step(step, &step_labels);
         (step, global)
     }
 
@@ -533,6 +569,37 @@ mod tests {
         assert_eq!(stats.messages, 6); // 2*(n-1) directed sends
         assert_eq!(stats.network_messages, 2); // 1→2 and 2→1
         assert_eq!(stats.network_bytes, 2 * std::mem::size_of::<u64>() as u64);
+    }
+
+    #[test]
+    fn per_label_traffic_sums_to_totals() {
+        let g = line(6);
+        let label = g.edge_label_id("next").unwrap();
+        let mut comp: Computation<'_, (), u64> =
+            Computation::new(&g, EngineConfig::with_threads(3), |_| ());
+        comp.set_partitioning(Partitioning::from_assignment(vec![0, 0, 1, 1, 0, 1], 2));
+        comp.activate(g.vertices());
+        comp.superstep_simple(|ctx| {
+            // Labeled sends along real edges, plus one unlabeled send.
+            let targets: Vec<VertexId> = ctx.edges().iter().map(|e| e.target).collect();
+            for t in targets {
+                ctx.send_along(label, t, 1);
+            }
+            ctx.send(0, 2);
+        });
+        let stats = comp.stats();
+        let labeled = stats.label_traffic(label);
+        let unlabeled = stats.label_traffic(crate::LabelId::NONE);
+        assert_eq!(labeled.messages, 10); // 2*(n-1) directed sends
+        assert_eq!(unlabeled.messages, 6);
+        assert_eq!(labeled.messages + unlabeled.messages, stats.total_messages());
+        assert_eq!(labeled.bytes + unlabeled.bytes, stats.total_bytes());
+        assert_eq!(
+            labeled.network_messages + unlabeled.network_messages,
+            stats.totals.network_messages
+        );
+        assert_eq!(labeled.network_bytes + unlabeled.network_bytes, stats.totals.network_bytes);
+        assert!(labeled.network_messages > 0, "the 1-2 and 3-4 crossings are labeled");
     }
 
     #[test]

@@ -11,6 +11,13 @@ use vcsql_relation::FxHashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LabelId(pub u32);
 
+impl LabelId {
+    /// Reserved sentinel for "no label": the bucket that label-less sends
+    /// are attributed to in per-label traffic statistics. Never produced by
+    /// an [`Interner`] (ids are dense from 0).
+    pub const NONE: LabelId = LabelId(u32::MAX);
+}
+
 impl fmt::Display for LabelId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "#{}", self.0)

@@ -42,4 +42,4 @@ pub use partition::{
     DEFAULT_BALANCE_SLACK,
 };
 pub use program::{run_program, Aggregator, Message, VertexProgram};
-pub use stats::{RunStats, StepStats};
+pub use stats::{LabelTraffic, RunStats, StepStats, TrafficProfile};

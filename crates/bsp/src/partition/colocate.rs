@@ -28,7 +28,7 @@
 //! vertex falls back to the least-loaded machine, which is always under the
 //! cap.
 
-use super::refine::EdgeImportance;
+use super::refine::{EdgeImportance, WeightModel};
 use super::{balance_cap, hash_machine, Partitioning, DEFAULT_BALANCE_SLACK};
 use crate::graph::{Graph, VertexId};
 
@@ -40,6 +40,18 @@ pub(super) fn co_locate(
     graph: &Graph,
     machines: usize,
     is_anchor: &dyn Fn(VertexId) -> bool,
+) -> Partitioning {
+    co_locate_with(graph, machines, is_anchor, &WeightModel::Static(EdgeImportance::build(graph)))
+}
+
+/// [`co_locate`] under an explicit edge-weight model (the `Workload`
+/// strategy swaps in observed per-label traffic weights; everything else —
+/// anchor hash placement, heavy/light fallback, balance cap — is shared).
+pub(super) fn co_locate_with(
+    graph: &Graph,
+    machines: usize,
+    is_anchor: &dyn Fn(VertexId) -> bool,
+    weights: &WeightModel,
 ) -> Partitioning {
     let n = graph.vertex_count();
     let cap = balance_cap(n, machines, DEFAULT_BALANCE_SLACK);
@@ -64,7 +76,6 @@ pub(super) fn co_locate(
     }
     let mean_degree = if anchors == 0 { 0 } else { anchor_degree_sum.div_ceil(anchors) };
     let theta = (HEAVY_ANCHOR_FACTOR * mean_degree).max(1);
-    let importance = EdgeImportance::build(graph);
 
     // Pass 2: everyone else follows its best-scoring anchor neighbour (ties
     // break toward the lower vertex id — deterministic): first by traffic
@@ -82,7 +93,7 @@ pub(super) fn co_locate(
             if !anchor[e.target as usize] {
                 continue;
             }
-            let w = importance.weight(graph, v, e);
+            let w = weights.weight(graph, v, e);
             if w > 0.0 && scored.map_or(true, |(st, sw)| w > sw || (w == sw && e.target < st)) {
                 scored = Some((e.target, w));
             }

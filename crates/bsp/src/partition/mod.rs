@@ -6,7 +6,7 @@
 //! boundaries. This models the quantity the paper measures with `sar`: total
 //! network traffic during query execution.
 //!
-//! Three placement strategies are provided (see [`PartitionStrategy`]):
+//! Four placement strategies are provided (see [`PartitionStrategy`]):
 //!
 //! * [`Partitioning::hash`] — uniform hash placement, TigerGraph's untuned
 //!   default and the baseline the paper ran under. On `m` machines roughly
@@ -23,6 +23,12 @@
 //!   balance cap. This is the classic edge-cut-minimizing refinement (a
 //!   lightweight stand-in for METIS-style partitioning) and recovers most of
 //!   the locality the paper's real cluster deployment enjoys.
+//! * [`PartitionStrategy::Workload`] — the same co-locate + refine pipeline,
+//!   but weighted by *observed* per-edge-label traffic from a calibration
+//!   run's [`TrafficProfile`] instead of graph shape (see the
+//!   [`workload`](self) submodule): columns the profiled workload actually
+//!   traverses attract their tuples; columns it never touches attract
+//!   nothing.
 //!
 //! Partitioning is pure accounting: strategies never change results or
 //! message counts, only which messages are charged as network traffic
@@ -30,10 +36,12 @@
 
 mod colocate;
 mod refine;
+mod workload;
 
 pub use refine::RefineConfig;
 
 use crate::graph::{Graph, VertexId};
+use crate::stats::TrafficProfile;
 use std::hash::{Hash, Hasher};
 use vcsql_relation::fx::FxHasher;
 
@@ -69,8 +77,10 @@ pub(crate) fn hash_machine(v: VertexId, machines: usize) -> u16 {
 
 /// A pluggable vertex-placement strategy (ROADMAP: locality-aware TAG
 /// partitioning). `Hash` is the paper's baseline; `CoLocate` and `Refined`
-/// close the Section 8.6 traffic gap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// close the Section 8.6 traffic gap from graph shape alone; `Workload`
+/// closes more of it from *observed* traffic (a calibration run's
+/// [`TrafficProfile`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionStrategy {
     /// Uniform hash placement of every vertex.
     Hash,
@@ -79,29 +89,48 @@ pub enum PartitionStrategy {
     CoLocate,
     /// `CoLocate` seed refined by greedy label propagation.
     Refined,
+    /// `Refined` machinery under observed per-edge-label traffic weights
+    /// (see the [`workload`](self) submodule). With an empty profile every
+    /// label falls back to the static weights, i.e. `Workload(default)`
+    /// behaves exactly like `Refined`.
+    Workload(TrafficProfile),
 }
 
 impl PartitionStrategy {
-    /// All strategies, in baseline-first order.
+    /// The profile-free strategies, in baseline-first order (`Workload`
+    /// needs a calibration profile and is constructed explicitly).
     pub const ALL: [PartitionStrategy; 3] =
         [PartitionStrategy::Hash, PartitionStrategy::CoLocate, PartitionStrategy::Refined];
 
-    /// CLI-facing name (`--partitioning hash|colocate|refined`).
-    pub fn name(self) -> &'static str {
+    /// CLI-facing name (`--partitioning hash|colocate|refined|workload`).
+    pub fn name(&self) -> &'static str {
         match self {
             PartitionStrategy::Hash => "hash",
             PartitionStrategy::CoLocate => "colocate",
             PartitionStrategy::Refined => "refined",
+            PartitionStrategy::Workload(_) => "workload",
         }
     }
 
-    /// Parse a CLI-facing name.
+    /// Parse a CLI-facing name. `workload` parses to an **empty-profile**
+    /// `Workload` (≡ `Refined`); callers are expected to swap in a real
+    /// calibration profile via [`PartitionStrategy::with_profile`].
     pub fn parse(s: &str) -> Option<PartitionStrategy> {
         match s {
             "hash" => Some(PartitionStrategy::Hash),
             "colocate" | "co_locate" | "co-locate" => Some(PartitionStrategy::CoLocate),
             "refined" | "refine" => Some(PartitionStrategy::Refined),
+            "workload" | "profiled" => Some(PartitionStrategy::Workload(TrafficProfile::new())),
             _ => None,
+        }
+    }
+
+    /// For a `Workload` strategy, replace the profile; other strategies are
+    /// returned unchanged (they have nothing to calibrate).
+    pub fn with_profile(self, profile: TrafficProfile) -> PartitionStrategy {
+        match self {
+            PartitionStrategy::Workload(_) => PartitionStrategy::Workload(profile),
+            other => other,
         }
     }
 
@@ -109,7 +138,7 @@ impl PartitionStrategy {
     /// marks the vertices that hash-place and attract their neighbours (TAG
     /// attribute vertices); `Hash` ignores it.
     pub fn partition(
-        self,
+        &self,
         graph: &Graph,
         machines: usize,
         is_anchor: &dyn Fn(VertexId) -> bool,
@@ -117,8 +146,19 @@ impl PartitionStrategy {
         match self {
             PartitionStrategy::Hash => Partitioning::hash(graph, machines),
             PartitionStrategy::CoLocate => Partitioning::co_locate(graph, machines, is_anchor),
-            PartitionStrategy::Refined => Partitioning::co_locate(graph, machines, is_anchor)
-                .greedy_refine(graph, RefineConfig::default()),
+            PartitionStrategy::Refined => {
+                assert!(machines > 0 && machines <= u16::MAX as usize);
+                // One static weight model shared by both phases (building
+                // the per-vertex family table is O(V+E); no need to pay it
+                // twice on the same immutable graph).
+                let weights = refine::WeightModel::for_config(graph, &RefineConfig::default());
+                let seed = colocate::co_locate_with(graph, machines, is_anchor, &weights);
+                refine::greedy_refine_with(&seed, graph, RefineConfig::default(), &weights)
+            }
+            PartitionStrategy::Workload(profile) => {
+                assert!(machines > 0 && machines <= u16::MAX as usize);
+                workload::workload_partition(graph, machines, is_anchor, profile)
+            }
         }
     }
 }

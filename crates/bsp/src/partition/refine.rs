@@ -34,6 +34,7 @@
 
 use super::{balance_cap, Partitioning, DEFAULT_BALANCE_SLACK};
 use crate::graph::{Edge, Graph, VertexId};
+use crate::interner::LabelId;
 use vcsql_relation::FxHashMap;
 
 /// Tuning for [`Partitioning::greedy_refine`].
@@ -125,10 +126,87 @@ impl EdgeImportance {
     }
 }
 
+/// How much one edge's endpoints pull toward sharing a machine. Shared by
+/// the co-location seed and the label-propagation refinement, so both
+/// descend on one weighted-cut objective per strategy:
+///
+/// * `Uniform` — every edge votes 1 (textbook label propagation);
+/// * `Static` — the cross-family × selectivity score of [`EdgeImportance`]
+///   (see module docs), derived from graph shape alone;
+/// * `Observed` — workload-aware: a per-edge-label weight measured from a
+///   calibration run's `TrafficProfile` (normalized to `[0, 1]`, times the
+///   same `1/deg` selectivity discount on both endpoints so selective join
+///   values pull hardest), falling back to the static score for labels the
+///   profile never saw. Labels the profile *did* see carrying nothing weigh
+///   exactly 0 — the placement ignores columns the workload never traverses.
+pub(super) enum WeightModel {
+    Uniform,
+    Static(EdgeImportance),
+    Observed {
+        /// Per-label normalized traffic weight, indexed by `LabelId`;
+        /// `None` = label not covered by the profile (use the fallback).
+        norm: Vec<Option<f64>>,
+        fallback: EdgeImportance,
+    },
+}
+
+impl WeightModel {
+    /// Vote weight of edge `e` out of `source` (symmetric in the endpoints).
+    #[inline]
+    pub(super) fn weight(&self, graph: &Graph, source: VertexId, e: &Edge) -> f64 {
+        match self {
+            WeightModel::Uniform => 1.0,
+            WeightModel::Static(imp) => imp.weight(graph, source, e),
+            WeightModel::Observed { norm, fallback } => {
+                match norm.get(e.label.0 as usize).copied().flatten() {
+                    Some(w) => {
+                        let side = |y: VertexId| {
+                            let d = graph.degree(y);
+                            if d == 0 {
+                                0.0
+                            } else {
+                                1.0 / d as f64
+                            }
+                        };
+                        w * (side(source) + side(e.target))
+                    }
+                    None => fallback.weight(graph, source, e),
+                }
+            }
+        }
+    }
+
+    /// The model `config` asks for when no observed profile is in play.
+    pub(super) fn for_config(graph: &Graph, config: &RefineConfig) -> WeightModel {
+        if config.traffic_weighted {
+            WeightModel::Static(EdgeImportance::build(graph))
+        } else {
+            WeightModel::Uniform
+        }
+    }
+
+    /// Workload-aware model: `label_weight[l]` is the observed normalized
+    /// weight of edge label `l` (`None` = unseen, static fallback).
+    pub(super) fn observed(graph: &Graph, label_weight: Vec<Option<f64>>) -> WeightModel {
+        debug_assert_eq!(label_weight.len(), graph.edge_labels().len());
+        let _ = LabelId::NONE; // labels indexing `norm` are dense graph ids
+        WeightModel::Observed { norm: label_weight, fallback: EdgeImportance::build(graph) }
+    }
+}
+
 pub(super) fn greedy_refine(
     seed: &Partitioning,
     graph: &Graph,
     config: RefineConfig,
+) -> Partitioning {
+    greedy_refine_with(seed, graph, config, &WeightModel::for_config(graph, &config))
+}
+
+pub(super) fn greedy_refine_with(
+    seed: &Partitioning,
+    graph: &Graph,
+    config: RefineConfig,
+    weights: &WeightModel,
 ) -> Partitioning {
     let n = graph.vertex_count();
     let machines = seed.machines();
@@ -141,9 +219,6 @@ pub(super) fn greedy_refine(
     // only ever approach the cap from above.
     let cap = balance_cap(n, machines, config.balance_slack);
     let mut load = p.load();
-
-    let importance =
-        if config.traffic_weighted { Some(EdgeImportance::build(graph)) } else { None };
 
     // Scratch tally, reset per vertex via the touched list (machines can be
     // large; neighbours touch only a few).
@@ -158,10 +233,7 @@ pub(super) fn greedy_refine(
                 continue;
             }
             for e in edges {
-                let w = match &importance {
-                    Some(imp) => imp.weight(graph, v, e),
-                    None => 1.0,
-                };
+                let w = weights.weight(graph, v, e);
                 if w == 0.0 {
                     continue;
                 }

@@ -5,6 +5,21 @@
 //! These counters let the benches check the analytic bounds (e.g.
 //! `min(IN, OUT)` for two-way joins, the AGM bound for cycles) against the
 //! implementation, and feed the distributed-simulation network figures.
+//!
+//! Beyond the per-superstep totals, a [`RunStats`] keeps a **per-edge-label
+//! breakdown** of the traffic: every send is attributed to the edge label it
+//! travelled along ([`crate::engine::VertexCtx::send_along`]), or to the
+//! reserved [`LabelId::NONE`] bucket for label-less sends. Summed over all
+//! labels the breakdown always equals the totals. A breakdown resolved to
+//! label *names* is a [`TrafficProfile`]: the observed per-label traffic of a
+//! calibration run, serializable to a small text format so one process can
+//! profile a workload and a later one can partition for it (the
+//! `PartitionStrategy::Workload` placement in [`crate::partition`]).
+
+use crate::graph::Graph;
+use crate::interner::LabelId;
+use std::collections::BTreeMap;
+use vcsql_relation::FxHashMap;
 
 /// Statistics for one superstep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +47,35 @@ impl StepStats {
     }
 }
 
+/// Traffic attributed to one edge label (or to [`LabelId::NONE`]): the
+/// message/byte counters of [`StepStats`] without the vertex-activity ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelTraffic {
+    pub messages: u64,
+    pub bytes: u64,
+    pub network_messages: u64,
+    pub network_bytes: u64,
+}
+
+impl LabelTraffic {
+    /// Fold another label's (or run's) traffic into this one.
+    pub fn add(&mut self, other: &LabelTraffic) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.network_messages += other.network_messages;
+        self.network_bytes += other.network_bytes;
+    }
+
+    fn of_step(step: &StepStats) -> LabelTraffic {
+        LabelTraffic {
+            messages: step.messages,
+            bytes: step.message_bytes,
+            network_messages: step.network_messages,
+            network_bytes: step.network_bytes,
+        }
+    }
+}
+
 /// Accumulated statistics for a whole computation.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -39,14 +83,41 @@ pub struct RunStats {
     pub totals: StepStats,
     /// Per-superstep breakdown, in execution order.
     pub steps: Vec<StepStats>,
+    /// Per-edge-label breakdown of all traffic in `totals` (label-less sends
+    /// under [`LabelId::NONE`]). Invariant: the per-label counters sum to the
+    /// corresponding `totals` fields.
+    pub per_label: FxHashMap<LabelId, LabelTraffic>,
 }
 
 impl RunStats {
-    /// Record a completed superstep.
+    /// Record a completed superstep whose traffic carries no label detail
+    /// (it all lands in the [`LabelId::NONE`] bucket).
     pub fn record(&mut self, step: StepStats) {
+        let all = LabelTraffic::of_step(&step);
+        self.record_step(step, &[(LabelId::NONE, all)]);
+    }
+
+    /// Record a completed superstep together with its per-label traffic
+    /// breakdown (the engine's path; `labels` must sum to `step`'s traffic).
+    pub fn record_step(&mut self, step: StepStats, labels: &[(LabelId, LabelTraffic)]) {
         self.supersteps += 1;
         self.totals.add(&step);
         self.steps.push(step);
+        for (label, t) in labels {
+            self.per_label.entry(*label).or_default().add(t);
+        }
+    }
+
+    /// Record traffic that belongs to no superstep (host-side shipping such
+    /// as the Algorithm-B Cartesian hand-off): totals grow, `supersteps` and
+    /// the per-step list do not — so round counts stay those of the actual
+    /// BSP execution.
+    pub fn record_traffic(&mut self, traffic: LabelTraffic) {
+        self.totals.messages += traffic.messages;
+        self.totals.message_bytes += traffic.bytes;
+        self.totals.network_messages += traffic.network_messages;
+        self.totals.network_bytes += traffic.network_bytes;
+        self.per_label.entry(LabelId::NONE).or_default().add(&traffic);
     }
 
     /// Total messages over all supersteps (the paper's communication cost).
@@ -59,18 +130,162 @@ impl RunStats {
         self.totals.message_bytes
     }
 
+    /// Traffic attributed to one label (zero if the label never sent).
+    pub fn label_traffic(&self, label: LabelId) -> LabelTraffic {
+        self.per_label.get(&label).copied().unwrap_or_default()
+    }
+
     /// Fold another run's statistics into this one (used when a query runs
     /// several vertex programs, e.g. per-bag subqueries then the glue join).
     pub fn absorb(&mut self, other: &RunStats) {
         self.supersteps += other.supersteps;
         self.totals.add(&other.totals);
         self.steps.extend_from_slice(&other.steps);
+        for (label, t) in &other.per_label {
+            self.per_label.entry(*label).or_default().add(t);
+        }
+    }
+}
+
+/// Magic first line of the profile text format.
+const PROFILE_HEADER: &str = "vcsql-traffic-profile v1";
+
+/// Observed per-edge-label traffic of one or more runs, keyed by label
+/// *name* so it survives across processes and graphs (label ids are
+/// graph-local). This is the hand-off between a calibration run and a
+/// later `PartitionStrategy::Workload` placement: serialize with
+/// [`TrafficProfile::to_text`], load with [`TrafficProfile::from_text`].
+///
+/// The [`LabelId::NONE`] bucket is deliberately excluded — label-less
+/// traffic names no edge and cannot guide placement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficProfile {
+    entries: BTreeMap<String, LabelTraffic>,
+}
+
+impl TrafficProfile {
+    /// Empty profile (every label is "unseen"; the `Workload` placement then
+    /// falls back to its static weights everywhere).
+    pub fn new() -> TrafficProfile {
+        TrafficProfile::default()
+    }
+
+    /// Resolve a run's per-label breakdown against the graph it ran over.
+    pub fn from_run(stats: &RunStats, graph: &Graph) -> TrafficProfile {
+        let mut p = TrafficProfile::new();
+        for (&label, t) in &stats.per_label {
+            if label == LabelId::NONE {
+                continue;
+            }
+            p.entries.entry(graph.edge_label_name(label).to_string()).or_default().add(t);
+        }
+        p
+    }
+
+    /// Fold another profile into this one (e.g. per-query profiles of a
+    /// whole calibration workload).
+    pub fn absorb(&mut self, other: &TrafficProfile) {
+        for (name, t) in &other.entries {
+            self.entries.entry(name.clone()).or_default().add(t);
+        }
+    }
+
+    /// Insert an explicit zero entry for every edge label of `graph` that
+    /// the profile has not observed. A calibration run does this so that
+    /// "this label carried nothing" (weight 0) is distinguishable from
+    /// "this label was never profiled" (static-weight fallback).
+    pub fn cover_graph(&mut self, graph: &Graph) {
+        for (_, name) in graph.edge_labels().iter() {
+            self.entries.entry(name.to_string()).or_default();
+        }
+    }
+
+    /// Record traffic for a label by name (mainly for tests and tooling).
+    pub fn record(&mut self, name: &str, traffic: LabelTraffic) {
+        self.entries.entry(name.to_string()).or_default().add(&traffic);
+    }
+
+    /// The observed traffic for a label name, if the label was profiled
+    /// (a `Some` of zeros means "seen, carried nothing").
+    pub fn get(&self, name: &str) -> Option<LabelTraffic> {
+        self.entries.get(name).copied()
+    }
+
+    /// Iterate `(name, traffic)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &LabelTraffic)> {
+        self.entries.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Number of profiled labels.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no label has been profiled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize to the line-oriented text format:
+    ///
+    /// ```text
+    /// vcsql-traffic-profile v1
+    /// <label-name> <messages> <bytes> <network_messages> <network_bytes>
+    /// ```
+    ///
+    /// Label names follow the TAG `R.A` convention and must not contain
+    /// whitespace.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(PROFILE_HEADER);
+        out.push('\n');
+        for (name, t) in &self.entries {
+            debug_assert!(!name.contains(char::is_whitespace), "label name with whitespace");
+            out.push_str(&format!(
+                "{name} {} {} {} {}\n",
+                t.messages, t.bytes, t.network_messages, t.network_bytes
+            ));
+        }
+        out
+    }
+
+    /// Parse the [`TrafficProfile::to_text`] format. Duplicate label lines
+    /// accumulate; blank lines and `#` comments are skipped (before the
+    /// header line too, so a saved profile may carry a leading banner).
+    pub fn from_text(text: &str) -> Result<TrafficProfile, String> {
+        let mut lines =
+            text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some(PROFILE_HEADER) => {}
+            other => {
+                return Err(format!("bad profile header: {other:?} (want {PROFILE_HEADER:?})"))
+            }
+        }
+        let mut p = TrafficProfile::new();
+        for line in lines {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 5 {
+                return Err(format!("bad profile line (want 5 fields): `{line}`"));
+            }
+            let num =
+                |s: &str| s.parse::<u64>().map_err(|_| format!("bad count `{s}` in `{line}`"));
+            p.record(
+                fields[0],
+                LabelTraffic {
+                    messages: num(fields[1])?,
+                    bytes: num(fields[2])?,
+                    network_messages: num(fields[3])?,
+                    network_bytes: num(fields[4])?,
+                },
+            );
+        }
+        Ok(p)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::GraphBuilder;
 
     #[test]
     fn record_accumulates() {
@@ -91,11 +306,103 @@ mod tests {
         assert_eq!(r.total_messages(), 6);
         assert_eq!(r.total_bytes(), 48);
         assert_eq!(r.steps.len(), 2);
+        // Label-less records land in the NONE bucket, keeping the sum
+        // invariant.
+        assert_eq!(r.label_traffic(LabelId::NONE).messages, 6);
 
         let mut s = RunStats::default();
         s.absorb(&r);
         s.absorb(&r);
         assert_eq!(s.supersteps, 4);
         assert_eq!(s.total_messages(), 12);
+        assert_eq!(s.label_traffic(LabelId::NONE).bytes, 96);
+    }
+
+    #[test]
+    fn record_step_tracks_labels() {
+        let mut r = RunStats::default();
+        let l0 = LabelId(0);
+        let l1 = LabelId(1);
+        r.record_step(
+            StepStats { active_vertices: 2, messages: 3, message_bytes: 24, ..Default::default() },
+            &[
+                (l0, LabelTraffic { messages: 2, bytes: 16, ..Default::default() }),
+                (l1, LabelTraffic { messages: 1, bytes: 8, ..Default::default() }),
+            ],
+        );
+        assert_eq!(r.label_traffic(l0).messages, 2);
+        assert_eq!(r.label_traffic(l1).bytes, 8);
+        let sum: u64 = r.per_label.values().map(|t| t.messages).sum();
+        assert_eq!(sum, r.total_messages());
+    }
+
+    #[test]
+    fn record_traffic_skips_rounds() {
+        let mut r = RunStats::default();
+        r.record(StepStats { messages: 1, message_bytes: 8, ..Default::default() });
+        r.record_traffic(LabelTraffic {
+            messages: 10,
+            bytes: 100,
+            network_messages: 4,
+            network_bytes: 40,
+        });
+        assert_eq!(r.supersteps, 1, "non-round traffic must not add a superstep");
+        assert_eq!(r.steps.len(), 1);
+        assert_eq!(r.total_messages(), 11);
+        assert_eq!(r.total_bytes(), 108);
+        assert_eq!(r.totals.network_bytes, 40);
+    }
+
+    #[test]
+    fn profile_roundtrips_through_text() {
+        let mut p = TrafficProfile::new();
+        p.record(
+            "lineitem.l_orderkey",
+            LabelTraffic { messages: 10, bytes: 800, network_messages: 5, network_bytes: 400 },
+        );
+        p.record("orders.o_custkey", LabelTraffic { messages: 3, bytes: 24, ..Default::default() });
+        let text = p.to_text();
+        let q = TrafficProfile::from_text(&text).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.get("lineitem.l_orderkey").unwrap().bytes, 800);
+        assert_eq!(q.get("missing"), None);
+    }
+
+    #[test]
+    fn profile_rejects_malformed_text() {
+        assert!(TrafficProfile::from_text("").is_err());
+        assert!(TrafficProfile::from_text("not-a-profile\n").is_err());
+        assert!(TrafficProfile::from_text("vcsql-traffic-profile v1\nr.a 1 2\n").is_err());
+        assert!(TrafficProfile::from_text("vcsql-traffic-profile v1\nr.a 1 2 3 x\n").is_err());
+        // Comments and blank lines are fine, including before the header.
+        let ok = TrafficProfile::from_text("vcsql-traffic-profile v1\n\n# hi\nr.a 1 2 3 4\n");
+        assert_eq!(ok.unwrap().get("r.a").unwrap().network_bytes, 4);
+        let banner = TrafficProfile::from_text("# banner\nvcsql-traffic-profile v1\nr.a 1 2 3 4\n");
+        assert_eq!(banner.unwrap().get("r.a").unwrap().messages, 1);
+    }
+
+    #[test]
+    fn profile_from_run_resolves_names_and_covers_graph() {
+        let mut b = GraphBuilder::new();
+        let vl = b.vertex_label("v");
+        let ea = b.edge_label("r.a");
+        let _eb = b.edge_label("r.b");
+        b.add_vertex(vl);
+        let g = b.finish();
+
+        let mut stats = RunStats::default();
+        stats.record_step(
+            StepStats { messages: 2, message_bytes: 16, ..Default::default() },
+            &[(ea, LabelTraffic { messages: 2, bytes: 16, ..Default::default() })],
+        );
+        stats.record_traffic(LabelTraffic { messages: 1, bytes: 8, ..Default::default() });
+
+        let mut p = TrafficProfile::from_run(&stats, &g);
+        assert_eq!(p.get("r.a").unwrap().messages, 2);
+        assert_eq!(p.get("r.b"), None, "unobserved label absent before cover_graph");
+        assert_eq!(p.len(), 1, "NONE bucket excluded");
+        p.cover_graph(&g);
+        assert_eq!(p.get("r.b"), Some(LabelTraffic::default()));
+        assert_eq!(p.get("r.a").unwrap().messages, 2, "cover_graph must not clobber");
     }
 }

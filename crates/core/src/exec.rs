@@ -34,7 +34,7 @@ use crate::table::{ColKey, Partial, Table, TagMsg};
 use std::sync::Arc;
 use vcsql_bsp::program::Aggregator;
 use vcsql_bsp::{
-    Computation, EngineConfig, LabelId, PartitionStrategy, Partitioning, RunStats, StepStats,
+    Computation, EngineConfig, LabelId, LabelTraffic, PartitionStrategy, Partitioning, RunStats,
     VertexCtx, VertexId,
 };
 use vcsql_query::analyze::{lower_subquery, Analyzed, LoweredSubquery, OutputItem};
@@ -92,7 +92,7 @@ impl<'t> TagJoinExecutor<'t> {
     /// machines. The TAG's attribute vertices are the anchors of the
     /// locality-aware strategies (tuple vertices co-locate with them);
     /// network accounting is the only effect — results never change.
-    pub fn with_partition_strategy(self, strategy: PartitionStrategy, machines: usize) -> Self {
+    pub fn with_partition_strategy(self, strategy: &PartitionStrategy, machines: usize) -> Self {
         let tag = self.tag;
         let p = strategy.partition(tag.graph(), machines, &|v| !tag.is_tuple_vertex(v));
         self.with_partitioning(p)
@@ -151,25 +151,38 @@ impl<'t> TagJoinExecutor<'t> {
         order.push(q.primary);
 
         // Secondary components first (Section 6.3 Algorithm B: their results
-        // are shipped to the primary component's roots).
+        // are gathered, combined, and shipped to the primary component's
+        // roots). The gather leg is charged per piece: each secondary root's
+        // table travels to the gather site, crossing the network when the
+        // root lives elsewhere.
+        let origin = self.partitioning.as_ref().map(|p| gather_site(&q, &order, self.tag, p));
         let mut secondary: Option<Table> = None;
+        let mut gather = LabelTraffic::default();
         for &ci in &order[..order.len() - 1] {
             self.run_traversal(&mut comp, &q, ci)?;
-            let gathered = self.gather_component(&mut comp, &q, ci)?;
+            let pieces = self.gather_component(&mut comp, &q)?;
+            for (v, t) in &pieces {
+                let (rows, bytes) = (t.len() as u64, t.approx_bytes() as u64);
+                gather.messages += rows;
+                gather.bytes += bytes;
+                if let (Some(p), Some(o)) = (&self.partitioning, origin) {
+                    if p.machine_of(*v) as usize != o {
+                        gather.network_messages += rows;
+                        gather.network_bytes += bytes;
+                    }
+                }
+            }
+            let gathered = Table::union(pieces.iter().map(|(_, t)| t))
+                .unwrap_or_else(|| Table::empty(q.component_layout(ci)));
             secondary = Some(match secondary {
                 None => gathered,
                 Some(prev) => prev.natural_join(&gathered), // disjoint keys: cross product
             });
         }
         if let Some(sec) = &secondary {
-            // Algorithm B accounting (Section 6.3): every secondary-side row
-            // is shipped to every primary root tuple vertex.
-            let root_rel = q.rel_label[q.plans[q.primary].root_table()];
-            let primary_roots = self.tag.graph().vertices_with_label(root_rel).len();
-            stats.absorb(&synthetic_stats(
-                sec.len() as u64 * primary_roots.max(1) as u64,
-                sec.approx_bytes() as u64,
-            ));
+            let mut traffic = self.cartesian_shipping(&q, sec, origin);
+            traffic.add(&gather);
+            stats.record_traffic(traffic);
         }
 
         // Primary component traversal + finish.
@@ -178,6 +191,51 @@ impl<'t> TagJoinExecutor<'t> {
 
         stats.absorb(comp.stats());
         Ok(ExecOutput { relation: out, stats })
+    }
+
+    /// Outbound half of the Algorithm B accounting (Section 6.3): every
+    /// combined secondary-side row is shipped to every primary root tuple
+    /// vertex, as host-side traffic outside any superstep (so it never
+    /// inflates round counts). The caller adds the inbound gather leg.
+    ///
+    /// Without a partitioning the combined table is charged once, as before.
+    /// Under a partitioning the shipping is attributed to machines: the
+    /// table is assembled at the *gather site* `origin` — the machine
+    /// holding the plurality of the secondary components' root tuple
+    /// vertices (lowest id on ties, see [`gather_site`]) — and broadcast
+    /// once to every machine hosting primary roots, so `bytes` grows by one
+    /// table copy per receiving machine and `network_bytes` by one copy per
+    /// receiving machine other than the gather site. Message counts stay at
+    /// row × root granularity (the paper's communication-cost measure), with
+    /// the deliveries to roots off the gather site counted as network
+    /// messages.
+    fn cartesian_shipping(&self, q: &QueryCtx, sec: &Table, origin: Option<usize>) -> LabelTraffic {
+        let graph = self.tag.graph();
+        let roots = graph.vertices_with_label(q.rel_label[q.plans[q.primary].root_table()]);
+        let rows = sec.len() as u64;
+        let bytes = sec.approx_bytes() as u64;
+        let mut traffic = LabelTraffic {
+            messages: rows * (roots.len() as u64).max(1),
+            bytes,
+            ..Default::default()
+        };
+        let (Some(p), Some(origin)) = (&self.partitioning, origin) else { return traffic };
+
+        let mut root_machine = vec![false; p.machines()];
+        let mut remote_roots = 0u64;
+        for &v in roots {
+            let m = p.machine_of(v) as usize;
+            root_machine[m] = true;
+            if m != origin {
+                remote_roots += 1;
+            }
+        }
+        let receiving = root_machine.iter().filter(|&&b| b).count() as u64;
+        let remote_machines = receiving - u64::from(root_machine[origin]);
+        traffic.bytes = bytes * receiving.max(1);
+        traffic.network_messages = rows * remote_roots;
+        traffic.network_bytes = bytes * remote_machines;
+        traffic
     }
 
     // ------------------------------------------------------------------ plan
@@ -256,7 +314,7 @@ impl<'t> TagJoinExecutor<'t> {
             };
             let _ = step;
             for t in targets {
-                ctx.send(t, TagMsg::Signal(vid));
+                ctx.send_along(cur, t, TagMsg::Signal(vid));
             }
         });
     }
@@ -292,21 +350,22 @@ impl<'t> TagJoinExecutor<'t> {
                 .map(|e| e.target)
                 .collect();
             for t in targets {
-                ctx.send(t, TagMsg::Table(Arc::clone(&value)));
+                ctx.send_along(cur, t, TagMsg::Table(Arc::clone(&value)));
             }
         });
     }
 
-    /// Gather a (secondary) component's result tables from its roots.
+    /// Gather a (secondary) component's result tables from its roots, as
+    /// per-root pieces so the caller can attribute the gather traffic to the
+    /// machine each piece came from.
     fn gather_component(
         &self,
         comp: &mut Computation<'_, St, TagMsg>,
         q: &QueryCtx,
-        ci: usize,
-    ) -> Result<Table> {
+    ) -> Result<Vec<(VertexId, Table)>> {
         let tag = self.tag;
         #[derive(Default)]
-        struct Tables(Vec<Table>);
+        struct Tables(Vec<(VertexId, Table)>);
         impl Aggregator for Tables {
             fn merge(&mut self, mut other: Self) {
                 self.0.append(&mut other.0);
@@ -319,11 +378,10 @@ impl<'t> TagJoinExecutor<'t> {
                     return;
                 }
                 if let Some(v) = compute_value(ctx, q, tag) {
-                    g.0.push(v);
+                    g.0.push((ctx.id(), v));
                 }
             });
-        let layout = q.component_layout(ci);
-        Ok(Table::union(gathered.0.iter()).unwrap_or_else(|| Table::empty(layout)))
+        Ok(gathered.0)
     }
 
     // --------------------------------------------------------------- finish
@@ -404,12 +462,14 @@ impl<'t> TagJoinExecutor<'t> {
                                 if key[0].is_null() {
                                     return None;
                                 }
-                                ctx.edges_with(label).first().map(|e| e.target)
+                                ctx.edges_with(label).first().map(|e| (label, e.target))
                             });
                             match routed {
-                                Some(target) => {
-                                    ctx.send(target, TagMsg::Partial(Arc::new((key, part))))
-                                }
+                                Some((label, target)) => ctx.send_along(
+                                    label,
+                                    target,
+                                    TagMsg::Partial(Arc::new((key, part))),
+                                ),
                                 None => merge_group(&mut g.groups, key, part),
                             }
                         }
@@ -594,6 +654,26 @@ fn compute_value(
     }
 }
 
+/// The Algorithm B gather site: the machine holding the plurality of the
+/// secondary components' root tuple vertices (lowest machine id on ties) —
+/// the natural place to assemble the combined secondary result before
+/// broadcasting it to the primary roots.
+fn gather_site(q: &QueryCtx, order: &[usize], tag: &TagGraph, p: &Partitioning) -> usize {
+    let mut tally = vec![0u64; p.machines()];
+    for &ci in &order[..order.len() - 1] {
+        for &v in tag.graph().vertices_with_label(q.rel_label[q.plans[ci].root_table()]) {
+            tally[p.machine_of(v) as usize] += 1;
+        }
+    }
+    let mut origin = 0usize;
+    for (m, &c) in tally.iter().enumerate() {
+        if c > tally[origin] {
+            origin = m;
+        }
+    }
+    origin
+}
+
 fn merge_group(groups: &mut FxHashMap<Box<[Value]>, Partial>, key: Box<[Value]>, p: Partial) {
     match groups.entry(key) {
         std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -609,18 +689,6 @@ fn merge_group(groups: &mut FxHashMap<Box<[Value]>, Partial>, key: Box<[Value]>,
             e.insert(p);
         }
     }
-}
-
-fn synthetic_stats(messages: u64, bytes: u64) -> RunStats {
-    let mut s = RunStats::default();
-    s.record(StepStats {
-        active_vertices: 0,
-        messages,
-        message_bytes: bytes,
-        network_messages: 0,
-        network_bytes: 0,
-    });
-    s
 }
 
 // ---------------------------------------------------------------------------

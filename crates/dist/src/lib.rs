@@ -16,6 +16,10 @@
 //!   graph over `k` simulated machines (hash baseline, or a locality-aware
 //!   [`PartitionStrategy`]), counting every message whose source and target
 //!   vertices live on different machines;
+//! * [`tag_calibrate`] / [`tag_profiled`] — the two-phase workload-aware
+//!   loop: a calibration run under the hash baseline observes per-edge-label
+//!   traffic (a [`TrafficProfile`]), which re-partitions the TAG under
+//!   [`PartitionStrategy::Workload`] for the measured run;
 //! * [`SparkModel`] — a shuffle-join network-cost model that executes the
 //!   same plan with exact intermediate cardinalities and charges Spark-style
 //!   exchanges (hash shuffles, broadcasts below the threshold);
@@ -27,7 +31,7 @@ pub mod spark;
 
 pub use netstats::{unsafe_row_bytes, NetStats};
 pub use spark::SparkModel;
-pub use vcsql_bsp::{PartitionDiagnostics, PartitionStrategy};
+pub use vcsql_bsp::{PartitionDiagnostics, PartitionStrategy, TrafficProfile};
 
 use vcsql_bsp::{EngineConfig, Partitioning};
 use vcsql_core::{ExecOutput, TagJoinExecutor};
@@ -43,9 +47,64 @@ type Result<T> = std::result::Result<T, RelError>;
 pub fn tag_partitioning(
     tag: &TagGraph,
     machines: usize,
-    strategy: PartitionStrategy,
+    strategy: &PartitionStrategy,
 ) -> Partitioning {
     strategy.partition(tag.graph(), machines, &|v| !tag.is_tuple_vertex(v))
+}
+
+/// Phase 1 of the workload-aware loop: run `workload` once under the hash
+/// baseline on `machines` simulated machines and return the observed
+/// per-edge-label [`TrafficProfile`], covering every edge label of the TAG
+/// (labels the workload never traversed get explicit zeros, so the
+/// `Workload` placement spends no locality on them rather than falling back
+/// to static weights).
+///
+/// The profile records *total* per-label traffic, not the network share, so
+/// it is independent of the calibration placement; hash is used only because
+/// it is the cheap untuned baseline.
+pub fn tag_calibrate(
+    tag: &TagGraph,
+    workload: &[Analyzed],
+    machines: usize,
+    config: EngineConfig,
+) -> Result<TrafficProfile> {
+    if machines == 0 {
+        return Err(RelError::Other("cluster needs at least one machine".into()));
+    }
+    let p = tag_partitioning(tag, machines, &PartitionStrategy::Hash);
+    let mut profile = TrafficProfile::new();
+    for a in workload {
+        let (out, _) = tag_distributed_under(tag, a, p.clone(), config)?;
+        profile.absorb(&TrafficProfile::from_run(&out.stats, tag.graph()));
+    }
+    profile.cover_graph(tag.graph());
+    Ok(profile)
+}
+
+/// Phase 2 of the workload-aware loop: calibrate on `calibrate_on`, build a
+/// [`PartitionStrategy::Workload`] partitioning from the observed profile,
+/// and execute every query of `measure` under it. Returns the profile, the
+/// partitioning it produced, and the per-query outputs.
+///
+/// Calibrating and measuring the *same* workload demonstrates the gain;
+/// passing a different calibration workload demonstrates skew sensitivity
+/// (a mis-profiled placement decays toward the static `Refined` one).
+#[allow(clippy::type_complexity)]
+pub fn tag_profiled(
+    tag: &TagGraph,
+    calibrate_on: &[Analyzed],
+    measure: &[Analyzed],
+    machines: usize,
+    config: EngineConfig,
+) -> Result<(TrafficProfile, Partitioning, Vec<(ExecOutput, NetStats)>)> {
+    let profile = tag_calibrate(tag, calibrate_on, machines, config)?;
+    let strategy = PartitionStrategy::Workload(profile.clone());
+    let partitioning = tag_partitioning(tag, machines, &strategy);
+    let mut outputs = Vec::with_capacity(measure.len());
+    for a in measure {
+        outputs.push(tag_distributed_under(tag, a, partitioning.clone(), config)?);
+    }
+    Ok((profile, partitioning, outputs))
 }
 
 /// Execute `a` with the vertex-centric TAG-join executor under a hash
@@ -61,7 +120,7 @@ pub fn tag_distributed(
     machines: usize,
     config: EngineConfig,
 ) -> Result<(ExecOutput, NetStats)> {
-    tag_distributed_with(tag, a, machines, PartitionStrategy::Hash, config)
+    tag_distributed_with(tag, a, machines, &PartitionStrategy::Hash, config)
 }
 
 /// [`tag_distributed`] with an explicit [`PartitionStrategy`] — the
@@ -71,7 +130,7 @@ pub fn tag_distributed_with(
     tag: &TagGraph,
     a: &Analyzed,
     machines: usize,
-    strategy: PartitionStrategy,
+    strategy: &PartitionStrategy,
     config: EngineConfig,
 ) -> Result<(ExecOutput, NetStats)> {
     if machines == 0 {
@@ -100,9 +159,20 @@ pub fn tag_distributed_under(
 /// Modelled end-to-end runtime: local compute plus network transfer at
 /// `bandwidth_bytes_per_sec` (the paper's Fig 16 combines both the same
 /// way; latency per round is dominated by transfer at these sizes).
-pub fn modelled_runtime(compute_secs: f64, net: &NetStats, bandwidth_bytes_per_sec: f64) -> f64 {
-    assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
-    compute_secs + net.network_bytes as f64 / bandwidth_bytes_per_sec
+///
+/// Bandwidth comes from callers' configuration (e.g. `repro --bandwidth`),
+/// so a non-positive or non-finite value is an error, not a panic.
+pub fn modelled_runtime(
+    compute_secs: f64,
+    net: &NetStats,
+    bandwidth_bytes_per_sec: f64,
+) -> Result<f64> {
+    if !bandwidth_bytes_per_sec.is_finite() || bandwidth_bytes_per_sec <= 0.0 {
+        return Err(RelError::Other(format!(
+            "bandwidth must be a positive number of bytes/sec, got {bandwidth_bytes_per_sec}"
+        )));
+    }
+    Ok(compute_secs + net.network_bytes as f64 / bandwidth_bytes_per_sec)
 }
 
 #[cfg(test)]
@@ -149,11 +219,11 @@ mod tests {
         let a = analyzed(&tag, JOIN_SQL);
         let local = TagJoinExecutor::new(&tag, EngineConfig::sequential()).execute(&a).unwrap();
         let (_, hash) =
-            tag_distributed_with(&tag, &a, 6, PartitionStrategy::Hash, EngineConfig::sequential())
+            tag_distributed_with(&tag, &a, 6, &PartitionStrategy::Hash, EngineConfig::sequential())
                 .unwrap();
         for strategy in [PartitionStrategy::CoLocate, PartitionStrategy::Refined] {
             let (out, net) =
-                tag_distributed_with(&tag, &a, 6, strategy, EngineConfig::sequential()).unwrap();
+                tag_distributed_with(&tag, &a, 6, &strategy, EngineConfig::sequential()).unwrap();
             assert!(
                 out.relation.same_bag_approx(&local.relation, 1e-9),
                 "{}: partitioning changed the result",
@@ -175,8 +245,8 @@ mod tests {
         let db = tpch::generate(0.01, 7);
         let tag = TagGraph::build(&db);
         let g = tag.graph();
-        let hash = tag_partitioning(&tag, 6, PartitionStrategy::Hash).diagnostics(g);
-        let refined = tag_partitioning(&tag, 6, PartitionStrategy::Refined).diagnostics(g);
+        let hash = tag_partitioning(&tag, 6, &PartitionStrategy::Hash).diagnostics(g);
+        let refined = tag_partitioning(&tag, 6, &PartitionStrategy::Refined).diagnostics(g);
         assert!(
             refined.edge_cut_fraction < hash.edge_cut_fraction,
             "refined {:.3} vs hash {:.3}",
@@ -247,7 +317,59 @@ mod tests {
     #[test]
     fn modelled_runtime_adds_transfer_time() {
         let net = NetStats { network_messages: 1, network_bytes: 2_000_000_000, rounds: 1 };
-        let t = modelled_runtime(0.5, &net, 1e9);
+        let t = modelled_runtime(0.5, &net, 1e9).unwrap();
         assert!((t - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modelled_runtime_rejects_bad_bandwidth() {
+        let net = NetStats { network_bytes: 1, ..NetStats::default() };
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(modelled_runtime(0.5, &net, bad).is_err(), "bandwidth {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn calibration_profile_covers_graph_and_sees_join_labels() {
+        let db = tpch::generate(0.01, 11);
+        let tag = TagGraph::build(&db);
+        let a = analyzed(&tag, JOIN_SQL);
+        let profile =
+            tag_calibrate(&tag, std::slice::from_ref(&a), 6, EngineConfig::sequential()).unwrap();
+        // Every edge label of the graph is covered (explicit zeros included).
+        assert_eq!(profile.len(), tag.graph().edge_labels().len());
+        // The traversed join columns carried traffic; untouched columns did
+        // not.
+        assert!(profile.get("lineitem.l_orderkey").unwrap().bytes > 0);
+        assert!(profile.get("orders.o_custkey").unwrap().bytes > 0);
+        assert_eq!(profile.get("part.p_name").unwrap().bytes, 0);
+        // And it round-trips through the text hand-off format.
+        let text = profile.to_text();
+        assert_eq!(TrafficProfile::from_text(&text).unwrap(), profile);
+    }
+
+    #[test]
+    fn profiled_run_preserves_results_and_beats_hash() {
+        let db = tpch::generate(0.02, 42);
+        let tag = TagGraph::build(&db);
+        let a = analyzed(&tag, JOIN_SQL);
+        let local = TagJoinExecutor::new(&tag, EngineConfig::sequential()).execute(&a).unwrap();
+        let (_, hash) =
+            tag_distributed_with(&tag, &a, 6, &PartitionStrategy::Hash, EngineConfig::sequential())
+                .unwrap();
+        let workload = std::slice::from_ref(&a);
+        let (profile, partitioning, outputs) =
+            tag_profiled(&tag, workload, workload, 6, EngineConfig::sequential()).unwrap();
+        assert!(!profile.is_empty());
+        assert_eq!(partitioning.machines(), 6);
+        let (out, net) = &outputs[0];
+        assert!(out.relation.same_bag_approx(&local.relation, 1e-9));
+        assert_eq!(out.stats.total_messages(), local.stats.total_messages());
+        assert!(
+            net.network_bytes <= hash.network_bytes,
+            "workload {} > hash {}",
+            net.network_bytes,
+            hash.network_bytes
+        );
     }
 }

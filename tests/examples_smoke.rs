@@ -90,12 +90,15 @@ fn distributed_cluster_flow() {
         tag_wins_a_join_query,
         "TAG-join should beat the shuffle model on at least one join query"
     );
-    // The runtime model is monotone in network bytes at fixed compute.
-    let t_tag = modelled_runtime(1.0, &tag_total, 1e9);
+    // The runtime model is monotone in network bytes at fixed compute, and
+    // rejects nonsense bandwidth instead of panicking.
+    let t_tag = modelled_runtime(1.0, &tag_total, 1e9).unwrap();
     let t_more = modelled_runtime(
         1.0,
         &NetStats { network_bytes: tag_total.network_bytes * 2, ..tag_total },
         1e9,
-    );
+    )
+    .unwrap();
     assert!(t_more > t_tag);
+    assert!(modelled_runtime(1.0, &tag_total, 0.0).is_err());
 }

@@ -2,11 +2,16 @@
 //! accounting, so every strategy must leave result bags (and total message
 //! counts) bit-identical to a single-machine run across the whole TPC-H
 //! workload — and the locality-aware strategies must not ship more bytes
-//! than the hash baseline on the canonical 3-way join.
+//! than the hash baseline on the canonical 3-way join. The workload-aware
+//! strategy, profiled on the workload it then serves, must not ship more
+//! than the static `refined` placement. Algorithm-B Cartesian shipping must
+//! be attributed to machines (nonzero network bytes on multi-component
+//! queries) without inflating round counts.
 
 use vcsql::bsp::{EngineConfig, PartitionStrategy};
 use vcsql::core::TagJoinExecutor;
-use vcsql::dist::{tag_distributed_under, tag_partitioning};
+use vcsql::dist::{tag_calibrate, tag_distributed_under, tag_partitioning};
+use vcsql::query::analyze::Analyzed;
 use vcsql::query::{analyze::analyze, parse};
 use vcsql::tag::TagGraph;
 use vcsql::workload::tpch;
@@ -14,42 +19,54 @@ use vcsql::workload::tpch;
 const THREE_WAY_JOIN: &str = "SELECT c.c_name FROM customer c, orders o, lineitem l \
                               WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey";
 
-/// Every strategy yields exactly the single-machine result bag on every
-/// workload query (the acceptance criterion's "result bags identical across
-/// all strategies").
+/// A two-component join graph: supplier × nation have no join predicate, so
+/// the secondary component's result is shipped to the primary component's
+/// roots (Section 6.3 Algorithm B).
+const CROSS_COMPONENT: &str = "SELECT s.s_name, n.n_name FROM supplier s, nation n \
+                               WHERE s.s_acctbal > 5000";
+
+fn tpch_analyzed(tag: &TagGraph) -> Vec<(&'static str, Analyzed)> {
+    tpch::queries()
+        .iter()
+        .map(|q| (q.id, analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap()))
+        .collect()
+}
+
+/// Every strategy — including `Workload` profiled on this same workload —
+/// yields exactly the single-machine result bag on every workload query
+/// (the acceptance criterion's "result bags identical across all
+/// strategies").
 #[test]
 fn all_strategies_preserve_results_on_the_tpch_workload() {
     let db = tpch::generate(0.01, 42);
     let tag = TagGraph::build(&db);
+    let queries = tpch_analyzed(&tag);
+    let analyzed: Vec<Analyzed> = queries.iter().map(|(_, a)| a.clone()).collect();
+    let profile = tag_calibrate(&tag, &analyzed, 6, EngineConfig::with_threads(2)).unwrap();
+    let mut strategies = PartitionStrategy::ALL.to_vec();
+    strategies.push(PartitionStrategy::Workload(profile));
     let parts: Vec<_> =
-        PartitionStrategy::ALL.iter().map(|&s| (s, tag_partitioning(&tag, 6, s))).collect();
-    for q in tpch::queries() {
-        let a = analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap();
+        strategies.iter().map(|s| (s.name(), tag_partitioning(&tag, 6, s))).collect();
+    for (id, a) in &queries {
         let single = TagJoinExecutor::new(&tag, EngineConfig::with_threads(2))
-            .execute(&a)
-            .unwrap_or_else(|e| panic!("{}: single-machine: {e}", q.id));
-        for (s, p) in &parts {
+            .execute(a)
+            .unwrap_or_else(|e| panic!("{id}: single-machine: {e}"));
+        for (name, p) in &parts {
             let (out, net) =
-                tag_distributed_under(&tag, &a, p.clone(), EngineConfig::with_threads(2))
-                    .unwrap_or_else(|e| panic!("{}/{}: {e}", q.id, s.name()));
+                tag_distributed_under(&tag, a, p.clone(), EngineConfig::with_threads(2))
+                    .unwrap_or_else(|e| panic!("{id}/{name}: {e}"));
             assert!(
                 out.relation.same_bag_approx(&single.relation, 1e-9),
-                "{}/{}: partitioning changed the result bag",
-                q.id,
-                s.name()
+                "{id}/{name}: partitioning changed the result bag"
             );
             assert_eq!(
                 out.stats.total_messages(),
                 single.stats.total_messages(),
-                "{}/{}: partitioning changed the message count",
-                q.id,
-                s.name()
+                "{id}/{name}: partitioning changed the message count"
             );
             assert!(
                 net.network_bytes <= out.stats.total_bytes(),
-                "{}/{}: network bytes exceed total bytes",
-                q.id,
-                s.name()
+                "{id}/{name}: network bytes exceed total bytes"
             );
         }
     }
@@ -63,14 +80,14 @@ fn locality_strategies_never_ship_more_than_hash_on_three_way_join() {
     let db = tpch::generate(0.02, 42);
     let tag = TagGraph::build(&db);
     let a = analyze(&parse(THREE_WAY_JOIN).unwrap(), tag.schemas()).unwrap();
-    let net_for = |s: PartitionStrategy| {
+    let net_for = |s: &PartitionStrategy| {
         let p = tag_partitioning(&tag, 6, s);
         let (_, net) = tag_distributed_under(&tag, &a, p, EngineConfig::sequential()).unwrap();
         net.network_bytes
     };
-    let hash = net_for(PartitionStrategy::Hash);
-    let colocate = net_for(PartitionStrategy::CoLocate);
-    let refined = net_for(PartitionStrategy::Refined);
+    let hash = net_for(&PartitionStrategy::Hash);
+    let colocate = net_for(&PartitionStrategy::CoLocate);
+    let refined = net_for(&PartitionStrategy::Refined);
     assert!(hash > 0, "a 6-machine run must use the network");
     assert!(colocate <= hash, "colocate ships more than hash: {colocate} > {hash}");
     assert!(refined <= hash, "refined ships more than hash: {refined} > {hash}");
@@ -90,13 +107,74 @@ fn locality_ordering_holds_on_a_second_seed_and_machine_count() {
     let tag = TagGraph::build(&db);
     let a = analyze(&parse(THREE_WAY_JOIN).unwrap(), tag.schemas()).unwrap();
     for machines in [3usize, 8] {
-        let net_for = |s: PartitionStrategy| {
+        let net_for = |s: &PartitionStrategy| {
             let p = tag_partitioning(&tag, machines, s);
             let (_, net) = tag_distributed_under(&tag, &a, p, EngineConfig::sequential()).unwrap();
             net.network_bytes
         };
-        let hash = net_for(PartitionStrategy::Hash);
-        assert!(net_for(PartitionStrategy::CoLocate) <= hash, "machines={machines}");
-        assert!(net_for(PartitionStrategy::Refined) <= hash, "machines={machines}");
+        let hash = net_for(&PartitionStrategy::Hash);
+        assert!(net_for(&PartitionStrategy::CoLocate) <= hash, "machines={machines}");
+        assert!(net_for(&PartitionStrategy::Refined) <= hash, "machines={machines}");
     }
+}
+
+/// Profiled on the very workload it then serves, the `Workload` placement
+/// must ship no more total bytes than the static `refined` one (observed
+/// traffic subsumes what the static weights guess from graph shape).
+#[test]
+fn workload_profiled_on_itself_ships_no_more_than_refined() {
+    let db = tpch::generate(0.01, 42);
+    let tag = TagGraph::build(&db);
+    let queries = tpch_analyzed(&tag);
+    let analyzed: Vec<Analyzed> = queries.iter().map(|(_, a)| a.clone()).collect();
+    let profile = tag_calibrate(&tag, &analyzed, 6, EngineConfig::with_threads(2)).unwrap();
+    let total_for = |s: &PartitionStrategy| {
+        let p = tag_partitioning(&tag, 6, s);
+        queries
+            .iter()
+            .map(|(_, a)| {
+                let (_, net) =
+                    tag_distributed_under(&tag, a, p.clone(), EngineConfig::with_threads(2))
+                        .unwrap();
+                net.network_bytes
+            })
+            .sum::<u64>()
+    };
+    let refined = total_for(&PartitionStrategy::Refined);
+    let workload = total_for(&PartitionStrategy::Workload(profile));
+    assert!(workload > 0, "a 6-machine workload run must use the network");
+    assert!(
+        workload <= refined,
+        "workload placement ships more than refined: {workload} > {refined}"
+    );
+}
+
+/// Regression for the Algorithm-B accounting fix: a two-component
+/// (Cartesian) query under 6 machines must report the shipped
+/// secondary-component tables as *network* traffic, without adding a
+/// phantom superstep, and without changing results or message counts.
+#[test]
+fn cartesian_shipping_is_charged_to_the_network() {
+    let db = tpch::generate(0.01, 42);
+    let tag = TagGraph::build(&db);
+    let a = analyze(&parse(CROSS_COMPONENT).unwrap(), tag.schemas()).unwrap();
+    let single = TagJoinExecutor::new(&tag, EngineConfig::sequential()).execute(&a).unwrap();
+    assert!(!single.relation.is_empty(), "cross product should produce rows");
+
+    let p = tag_partitioning(&tag, 6, &PartitionStrategy::Hash);
+    let (out, net) = tag_distributed_under(&tag, &a, p, EngineConfig::sequential()).unwrap();
+    assert!(out.relation.same_bag_approx(&single.relation, 1e-9));
+    assert_eq!(out.stats.total_messages(), single.stats.total_messages());
+    // The headline: shipped secondary tables are no longer free local
+    // traffic.
+    assert!(
+        net.network_bytes > 0,
+        "Cartesian shipping must be charged to the network under 6 machines"
+    );
+    assert!(net.network_bytes <= out.stats.total_bytes());
+    // And the shipping is not a phantom BSP round: both runs report the
+    // same superstep count, which is what the runtime model's round count
+    // reads.
+    assert_eq!(out.stats.supersteps, single.stats.supersteps);
+    assert_eq!(net.rounds, out.stats.supersteps);
 }

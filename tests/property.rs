@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 use vcsql::baseline::{execute as baseline, ExecConfig};
 use vcsql::bsp::{
-    balance_cap, EngineConfig, Graph, GraphBuilder, PartitionStrategy, VertexId,
-    DEFAULT_BALANCE_SLACK,
+    balance_cap, Computation, EngineConfig, Graph, GraphBuilder, LabelId, PartitionStrategy,
+    Partitioning, VertexId, DEFAULT_BALANCE_SLACK,
 };
 use vcsql::core::TagJoinExecutor;
 use vcsql::query::{analyze::analyze, parse};
@@ -154,6 +154,59 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The engine's per-label traffic breakdown sums to the step totals on
+    /// random programs: every vertex sends along its (randomly labelled)
+    /// edges via `send_along`, a random subset also fires label-less sends,
+    /// and a random partitioning splits the traffic into local and network
+    /// shares — each counter must decompose exactly over the labels plus
+    /// the `LabelId::NONE` bucket.
+    #[test]
+    fn per_label_stats_sum_to_totals_on_random_programs(
+        tuples in 1usize..30,
+        attrs in 1usize..15,
+        edges in prop::collection::vec((0usize..64, 0usize..64), 0..90),
+        machines in 1usize..=5,
+        unlabeled_mod in 1u32..5,
+        threads in 1usize..=4,
+        supersteps in 1usize..=3,
+    ) {
+        let g = bipartite_graph(tuples, attrs, &edges);
+        let mut comp: Computation<'_, (), u64> =
+            Computation::new(&g, EngineConfig::with_threads(threads), |_| ());
+        let assignment: Vec<u16> =
+            g.vertices().map(|v| (v as usize % machines) as u16).collect();
+        comp.set_partitioning(Partitioning::from_assignment(assignment, machines));
+        comp.activate(g.vertices());
+        for _ in 0..supersteps {
+            comp.superstep_simple(|ctx| {
+                let sends: Vec<(LabelId, VertexId)> =
+                    ctx.edges().iter().map(|e| (e.label, e.target)).collect();
+                for (label, t) in sends {
+                    ctx.send_along(label, t, 7);
+                }
+                if ctx.id() % unlabeled_mod == 0 {
+                    ctx.send(ctx.id(), 9); // label-less self-send
+                }
+            });
+        }
+        let stats = comp.stats();
+        let mut sums = (0u64, 0u64, 0u64, 0u64);
+        for t in stats.per_label.values() {
+            sums.0 += t.messages;
+            sums.1 += t.bytes;
+            sums.2 += t.network_messages;
+            sums.3 += t.network_bytes;
+        }
+        prop_assert_eq!(sums.0, stats.totals.messages);
+        prop_assert_eq!(sums.1, stats.totals.message_bytes);
+        prop_assert_eq!(sums.2, stats.totals.network_messages);
+        prop_assert_eq!(sums.3, stats.totals.network_bytes);
+        // The NONE bucket holds exactly the label-less self-sends, which
+        // never cross machines.
+        let none = stats.label_traffic(LabelId::NONE);
+        prop_assert_eq!(none.network_messages, 0);
     }
 
     #[test]
