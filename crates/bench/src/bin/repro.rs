@@ -2,7 +2,8 @@
 //!
 //! Usage: `cargo run --release -p vcsql-bench --bin repro -- <mode>
 //!         [--sf a,b,c] [--partitioning hash,colocate,refined,workload]
-//!         [--profile-from tpch|tpcds] [--bandwidth bytes_per_sec]`
+//!         [--profile-from tpch|tpcds] [--bandwidth bytes_per_sec]
+//!         [--sessions n] [--migration-budget n]`
 //!
 //! Modes (see DESIGN.md experiment index):
 //!   loading         Tables 1-2: data loading times
@@ -14,7 +15,9 @@
 //!   tpcds-classes   Table 6: per-class speedups
 //!   agg-breakdown   Fig 15: runtimes grouped by aggregation class
 //!   memory          Table 7: working-set bytes per engine
-//!   distributed     Fig 16 + Tables 16-17: runtime + network traffic
+//!   distributed     Fig 16 + Tables 16-17: runtime + network traffic;
+//!                   with --sessions n: the online-repartitioning drift
+//!                   replay (TPC-H profile, then TPC-DS queries arrive)
 //!   cost-model      §4.1.2 ablation: two-way join messages vs bounds
 //!   triangle-theta  §6.1.2 ablation: heavy/light θ sweep
 //!   reshuffle       §5.2.2 ablation: reshuffle bytes vs join-chain length
@@ -25,16 +28,19 @@ use vcsql_bench::{markdown_table, ms, prepare, run_system, speedup, time, Loaded
 use vcsql_bsp::{EngineConfig, PartitionStrategy, TrafficProfile};
 use vcsql_core::cyclic;
 use vcsql_core::twoway::{two_way_join, TwoWaySpec};
-use vcsql_dist::{tag_distributed, tag_distributed_under, tag_partitioning, SparkModel};
+use vcsql_dist::{tag_distributed, SparkModel};
+use vcsql_query::analyze::Analyzed;
 use vcsql_query::AggClass;
 use vcsql_relation::mem::human_bytes;
 use vcsql_relation::Database;
+use vcsql_session::Cluster;
 use vcsql_tag::TagGraph;
 use vcsql_workload::{synthetic, tpcds, tpch, BenchQuery};
 
 const USAGE: &str = "\
 usage: repro <mode> [--sf a,b,c] [--partitioning hash,colocate,refined,workload]
              [--profile-from tpch|tpcds] [--bandwidth bytes_per_sec]
+             [--sessions n] [--migration-budget n]
 
 modes:
   loading sizes tpch tpcds tpch-classes tpcds-matrix tpcds-classes
@@ -53,7 +59,18 @@ flags:
                          workload being measured; crossing them shows how
                          skew-sensitive the placement is)
   --bandwidth n          modelled network bandwidth in bytes/sec for the
-                         distributed runtime model (default 1e9)";
+                         distributed runtime model (default 1e9)
+  --sessions n           `distributed` only: instead of the per-strategy
+                         table, replay n session queries through one
+                         long-lived Session — a shuffled TPC-H phase, then a
+                         shuffled TPC-DS phase over a combined database —
+                         with the placement calibrated on TPC-H, and report
+                         bytes-per-query before/after the session's online
+                         repartitioning (n must be positive; migration
+                         bytes are itemized per query)
+  --migration-budget n   most vertices the session migrates per query while
+                         adapting (default 2048; must be positive; requires
+                         --sessions)";
 
 /// Print an argument error plus the usage text and exit with status 2.
 fn usage_error(msg: &str) -> ! {
@@ -103,6 +120,15 @@ fn parse_bandwidth(raw: &str) -> f64 {
     }
 }
 
+/// Positive-integer flag values (`--sessions`, `--migration-budget`): zero,
+/// negative and non-numeric inputs are usage errors, never panics.
+fn parse_positive(raw: &str, flag: &str) -> usize {
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => usage_error(&format!("bad {flag} value `{raw}` (want a positive integer)")),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<String> = None;
@@ -110,7 +136,10 @@ fn main() {
     let mut strategies = PartitionStrategy::ALL.to_vec();
     let mut profile_from: Option<String> = None;
     let mut bandwidth = 1e9;
+    let mut sessions: Option<usize> = None;
+    let mut migration_budget: Option<usize> = None;
     let mut distributed_flag: Option<&'static str> = None;
+    let mut partitioning_explicit = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -128,6 +157,7 @@ fn main() {
                     args.get(i + 1).unwrap_or_else(|| usage_error("--partitioning needs a value"));
                 strategies = parse_strategies(raw);
                 distributed_flag = Some("--partitioning");
+                partitioning_explicit = true;
                 i += 2;
             }
             "--profile-from" => {
@@ -142,6 +172,19 @@ fn main() {
                     args.get(i + 1).unwrap_or_else(|| usage_error("--bandwidth needs a value"));
                 bandwidth = parse_bandwidth(raw);
                 distributed_flag = Some("--bandwidth");
+                i += 2;
+            }
+            "--sessions" => {
+                let raw =
+                    args.get(i + 1).unwrap_or_else(|| usage_error("--sessions needs a value"));
+                sessions = Some(parse_positive(raw, "--sessions"));
+                i += 2;
+            }
+            "--migration-budget" => {
+                let raw = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage_error("--migration-budget needs a value"));
+                migration_budget = Some(parse_positive(raw, "--migration-budget"));
                 i += 2;
             }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag `{flag}`")),
@@ -168,6 +211,27 @@ fn main() {
     {
         usage_error("--profile-from requires --partitioning to include `workload`");
     }
+    // The drift replay is a dedicated experiment: it always calibrates its
+    // placement on TPC-H (the pre-drift workload), so flags steering the
+    // per-strategy table make no sense with it.
+    if sessions.is_some() {
+        if mode != "distributed" {
+            usage_error("--sessions only applies to the `distributed` mode");
+        }
+        if profile_from.is_some() {
+            usage_error("--sessions replays a fixed TPC-H -> TPC-DS drift; drop --profile-from");
+        }
+        if partitioning_explicit
+            && !strategies.iter().any(|s| matches!(s, PartitionStrategy::Workload(_)))
+        {
+            usage_error(
+                "--sessions replay uses the `workload` strategy; include it or drop --partitioning",
+            );
+        }
+    }
+    if migration_budget.is_some() && sessions.is_none() {
+        usage_error("--migration-budget requires --sessions");
+    }
 
     match mode.as_str() {
         "loading" => loading(&sfs),
@@ -179,7 +243,10 @@ fn main() {
         "tpcds-classes" => tpcds_classes(last_sf),
         "agg-breakdown" => agg_breakdown(last_sf),
         "memory" => memory(last_sf),
-        "distributed" => distributed(last_sf, &strategies, profile_from.as_deref(), bandwidth),
+        "distributed" => match sessions {
+            Some(n) => sessions_replay(last_sf, n, migration_budget.unwrap_or(2048), bandwidth),
+            None => distributed(last_sf, &strategies, profile_from.as_deref(), bandwidth),
+        },
         "cost-model" => cost_model(),
         "triangle-theta" => triangle_theta(),
         "reshuffle" => reshuffle(last_sf),
@@ -507,40 +574,47 @@ fn workload_by_mode(mode: &str) -> (fn(f64, u64) -> Database, Vec<BenchQuery>) {
     }
 }
 
-/// Observed per-edge-label traffic of a whole workload on its own TAG
-/// (phase 1 of the `workload` strategy: a hash-placed calibration run).
-fn calibration_profile(tag: &TagGraph, queries: &[BenchQuery], machines: usize) -> TrafficProfile {
-    let analyzed: Vec<_> = queries
+/// Parse + analyze a workload suite against a TAG.
+fn analyze_suite(tag: &TagGraph, queries: &[BenchQuery]) -> Vec<Analyzed> {
+    queries
         .iter()
         .map(|q| {
             vcsql_query::analyze::analyze(&vcsql_query::parse(q.sql).unwrap(), tag.schemas())
                 .expect("workload query analyzes")
         })
-        .collect();
-    vcsql_dist::tag_calibrate(tag, &analyzed, machines, EngineConfig::default())
+        .collect()
+}
+
+/// Observed per-edge-label traffic of a whole workload on its own TAG
+/// (phase 1 of the `workload` strategy: a hash-placed calibration run).
+fn calibration_profile(tag: &TagGraph, queries: &[BenchQuery], machines: usize) -> TrafficProfile {
+    Cluster::new(machines)
+        .calibrate(tag, &analyze_suite(tag, queries))
         .expect("calibration run succeeds")
 }
 
 /// E13 — Fig 16 + Tables 16-17: distributed runtime model + network bytes,
 /// per TAG placement strategy (the locality-aware strategies are what close
 /// the gap to the paper's 9x spark/tag traffic ratio; `workload` re-weights
-/// them with traffic observed from a calibration run).
+/// them with traffic observed from a calibration run). Each strategy runs as
+/// one static-placement `Session`, so plans are prepared once per workload.
 fn distributed(sf: f64, strategies: &[PartitionStrategy], profile_from: Option<&str>, bw: f64) {
     println!("\n## E13 — Distributed cluster simulation, 6 machines (paper Fig 16)\n");
-    let runtime = |secs: f64, net: &vcsql_dist::NetStats| {
-        vcsql_dist::modelled_runtime(secs, net, bw).expect("bandwidth validated at parse time")
-    };
-    let wants_workload = strategies.iter().any(|s| matches!(s, PartitionStrategy::Workload(_)));
     // Each calibration workload's profile is computed at most once: a
     // self-profile reuses the measurement loop's own graph, and a fixed
     // `--profile-from` profile computed in one iteration is reused by the
     // next (only a genuinely foreign workload builds a second graph).
     let mut profile_cache: Option<(String, TrafficProfile)> = None;
+    let wants_workload = strategies.iter().any(|s| matches!(s, PartitionStrategy::Workload(_)));
     for (name, mode) in [("TPC-H", "tpch"), ("TPC-DS", "tpcds")] {
         let (genf, queries) = workload_by_mode(mode);
         let db = genf(sf, SEED);
         let tag = TagGraph::build(&db);
         let spark = SparkModel::default();
+        let cluster = Cluster::new(spark.machines).bandwidth(bw).static_placement();
+        let runtime = |secs: f64, net: &vcsql_dist::NetStats| {
+            cluster.modelled_runtime(secs, net).expect("bandwidth validated at parse time")
+        };
         // Materialize the `workload` strategy once per measured workload.
         let workload_profile: Option<TrafficProfile> = wants_workload.then(|| {
             let calib = profile_from.unwrap_or(mode);
@@ -575,26 +649,27 @@ fn distributed(sf: f64, strategies: &[PartitionStrategy], profile_from: Option<&
                 other => other.clone(),
             })
             .collect();
-        // Build each partitioning once, reuse across the whole workload.
-        let parts: Vec<_> =
-            materialized.iter().map(|s| (s, tag_partitioning(&tag, spark.machines, s))).collect();
+        // One session per strategy: the placement is built once at open and
+        // reused across the whole workload (static placement here — the
+        // `--sessions` replay is where adaptation is measured).
+        let mut sessions: Vec<_> = materialized
+            .iter()
+            .map(|s| (s, cluster.clone().strategy(s.clone()).session(&tag).expect("session opens")))
+            .collect();
         let mut rows = Vec::new();
-        let mut tag_totals = vec![0u64; parts.len()];
-        let mut tag_times = vec![0.0f64; parts.len()];
+        let mut tag_totals = vec![0u64; sessions.len()];
+        let mut tag_times = vec![0.0f64; sessions.len()];
         let (mut spark_total, mut spark_time) = (0u64, 0.0f64);
         for q in &queries {
             let a =
                 vcsql_query::analyze::analyze(&vcsql_query::parse(q.sql).unwrap(), tag.schemas())
                     .expect("analyzes");
             let mut row = vec![q.id.to_string()];
-            for (i, (_, p)) in parts.iter().enumerate() {
-                // Clone outside the timed region: partition copies are setup,
-                // not the per-query local work the runtime model charges.
-                let p = p.clone();
-                let (tag_ref, a_ref) = (&tag, &a);
-                let ((_, net), secs) = time(move || {
-                    tag_distributed_under(tag_ref, a_ref, p, EngineConfig::default()).unwrap()
-                });
+            for (i, (_, session)) in sessions.iter_mut().enumerate() {
+                // Prepare outside the timed region (planning is setup, paid
+                // once per statement); time the execution itself.
+                let prepared = session.prepare(q.sql).expect("prepares");
+                let ((_, net), secs) = time(|| session.execute(&prepared).unwrap());
                 tag_totals[i] += net.network_bytes;
                 // Modelled runtime: measured local work + network at `bw`.
                 tag_times[i] += runtime(secs, &net);
@@ -614,13 +689,13 @@ fn distributed(sf: f64, strategies: &[PartitionStrategy], profile_from: Option<&
         rows.push(total_row);
 
         let mut headers = vec!["query".to_string()];
-        headers.extend(parts.iter().map(|(s, _)| format!("tag net ({})", s.name())));
+        headers.extend(sessions.iter().map(|(s, _)| format!("tag net ({})", s.name())));
         headers.push("spark_model net".to_string());
         println!("### {name} @ SF {sf} — network traffic per query\n");
         println!("{}", markdown_table(&headers, &rows));
         println!("spark_model modelled runtime: {spark_time:.3}s\n");
-        for (i, (s, p)) in parts.iter().enumerate() {
-            let d = p.diagnostics(tag.graph());
+        for (i, (s, session)) in sessions.iter().enumerate() {
+            let d = session.partitioning().expect("6 machines").diagnostics(tag.graph());
             println!(
                 "{:>9}: spark/tag traffic ratio = {:5.1}x | modelled runtime {:7.3}s | \
                  edge cut {:5.1}% | load imbalance {:.2}",
@@ -633,6 +708,158 @@ fn distributed(sf: f64, strategies: &[PartitionStrategy], profile_from: Option<&
         }
         println!();
     }
+}
+
+/// Deterministic xorshift64* shuffle (the compat `rand` has no shuffling,
+/// and replay order must reproduce bit-identically).
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        items.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+}
+
+/// E15 — the session drift replay: one long-lived `Session` over a combined
+/// TPC-H + TPC-DS database (their relation names are disjoint), placement
+/// calibrated on TPC-H, then the query mix drifts to TPC-DS. The session's
+/// online repartitioning must recover the workload-profiled traffic ratio
+/// without restarting the run, and every migrated vertex is charged to the
+/// per-query `NetStats` (itemized in the `migration` column).
+fn sessions_replay(sf: f64, n: usize, migration_budget: usize, bw: f64) {
+    println!(
+        "\n## E15 — Session drift replay @ SF {sf}: TPC-H profile, then TPC-DS arrives \
+         ({n} queries, migration budget {migration_budget}/query)\n"
+    );
+    let mut db = tpch::generate(sf, SEED);
+    for rel in tpcds::generate(sf, SEED).relations() {
+        db.add(rel.clone());
+    }
+    let tag = TagGraph::build(&db);
+    let spark = SparkModel::default();
+    let cluster = Cluster::new(spark.machines).bandwidth(bw).migration_budget(migration_budget);
+
+    let tpch_suite = tpch::queries();
+    let tpcds_suite = tpcds::queries();
+    let tpch_analyzed = analyze_suite(&tag, &tpch_suite);
+    let tpcds_analyzed = analyze_suite(&tag, &tpcds_suite);
+
+    // The replay: a shuffled TPC-H phase, then a shuffled TPC-DS phase.
+    let phase_len = n.div_ceil(2);
+    let mut replay: Vec<(&str, &str, usize)> = Vec::with_capacity(n); // (phase, id, suite idx)
+    for (phase, suite, take) in
+        [("tpch", &tpch_suite, phase_len), ("tpcds", &tpcds_suite, n - phase_len)]
+    {
+        let mut order: Vec<usize> = (0..suite.len()).collect();
+        shuffle(&mut order, SEED ^ suite.len() as u64);
+        for k in 0..take {
+            let idx = order[k % order.len()];
+            replay.push((phase, suite[idx].id, idx));
+        }
+    }
+
+    // The session under test: placement calibrated on the pre-drift
+    // workload, adaptation on.
+    let mut session =
+        cluster.calibrated_session(&tag, &tpch_analyzed).expect("calibrated session opens");
+    println!(
+        "(placement calibrated on tpch: {} profiled edge labels)\n",
+        session.placement_profile().len()
+    );
+
+    let mut rows = Vec::new();
+    let mut phase_bytes: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new(); // tag, migration, spark
+    let mut tpcds_halves = [(0u64, 0u64); 2]; // (tag bytes, spark bytes) per half
+    let mut tpcds_seen = 0usize;
+    let tpcds_total = n - phase_len;
+    for &(phase, id, idx) in &replay {
+        let (suite, analyzed) = if phase == "tpch" {
+            (&tpch_suite, &tpch_analyzed)
+        } else {
+            (&tpcds_suite, &tpcds_analyzed)
+        };
+        let (_, net) = session.run_sql(suite[idx].sql).expect("replay query runs");
+        let spark_net = spark.run(&analyzed[idx], &db).expect("spark model runs");
+        let e = phase_bytes.entry(phase).or_default();
+        e.0 += net.network_bytes - net.migration_bytes;
+        e.1 += net.migration_bytes;
+        e.2 += spark_net.network_bytes;
+        if phase == "tpcds" {
+            let half = if tpcds_seen * 2 < tpcds_total { 0 } else { 1 };
+            tpcds_halves[half].0 += net.network_bytes - net.migration_bytes;
+            tpcds_halves[half].1 += spark_net.network_bytes;
+            tpcds_seen += 1;
+        }
+        rows.push(vec![
+            phase.to_string(),
+            id.to_string(),
+            human_bytes((net.network_bytes - net.migration_bytes) as usize),
+            human_bytes(net.migration_bytes as usize),
+            human_bytes(spark_net.network_bytes as usize),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["phase", "query", "tag net", "migration", "spark_model net"].map(String::from),
+            &rows
+        )
+    );
+
+    // The yardstick: a session whose placement was profiled on TPC-DS itself
+    // (what the drifted session should converge back to).
+    let mut yardstick = cluster
+        .clone()
+        .static_placement()
+        .calibrated_session(&tag, &tpcds_analyzed)
+        .expect("yardstick session opens");
+    let mut self_tag = 0u64;
+    for &(phase, _, idx) in &replay {
+        if phase != "tpcds" {
+            continue;
+        }
+        let (_, net) = yardstick.run_sql(tpcds_suite[idx].sql).expect("yardstick runs");
+        self_tag += net.network_bytes;
+    }
+    // The spark side is the same deterministic model over the same queries
+    // the main loop already measured — reuse its phase total.
+    let self_spark = phase_bytes.get("tpcds").map(|&(_, _, s)| s).unwrap_or(0);
+
+    let stats = session.stats();
+    println!(
+        "session: {} queries | {} adaptations | {} vertices migrated over {} steps | \
+         migration bytes {} | plan cache {} hits / {} misses",
+        stats.queries,
+        stats.adaptations,
+        stats.migrated_vertices,
+        stats.migration_steps,
+        human_bytes(stats.migration_bytes as usize),
+        session.plan_cache().hits(),
+        session.plan_cache().misses(),
+    );
+    let ratio = |tag_bytes: u64, spark_bytes: u64| spark_bytes as f64 / tag_bytes.max(1) as f64;
+    for (phase, (tag_b, mig_b, spark_b)) in &phase_bytes {
+        println!(
+            "{phase:>6} phase: spark/tag byte ratio {:.1}x (tag {}, migration {}, spark {})",
+            ratio(*tag_b, *spark_b),
+            human_bytes(*tag_b as usize),
+            human_bytes(*mig_b as usize),
+            human_bytes(*spark_b as usize),
+        );
+    }
+    if tpcds_total >= 2 {
+        let before = ratio(tpcds_halves[0].0, tpcds_halves[0].1);
+        let after = ratio(tpcds_halves[1].0, tpcds_halves[1].1);
+        let yard = ratio(self_tag, self_spark);
+        println!(
+            "tpcds before adaptation (first half): {before:.1}x | after adaptation \
+             (second half): {after:.1}x | self-profiled yardstick: {yard:.1}x \
+             (recovered {:.0}% of the yardstick ratio without restarting)",
+            100.0 * after / yard.max(1e-12),
+        );
+    }
+    println!();
 }
 
 /// A1 — §4.1.2: two-way join communication vs the min(IN, OUT) bound.

@@ -76,6 +76,71 @@ fn bad_profile_from_and_bandwidth_are_usage_errors() {
 }
 
 #[test]
+fn bad_sessions_and_migration_budget_are_usage_errors() {
+    // Zero/negative/non-numeric counts must exit 2, never panic.
+    assert_usage_exit(&["distributed", "--sessions", "0"], "bad --sessions value `0`");
+    assert_usage_exit(&["distributed", "--sessions", "-3"], "bad --sessions value `-3`");
+    assert_usage_exit(&["distributed", "--sessions", "many"], "bad --sessions value `many`");
+    assert_usage_exit(&["distributed", "--sessions"], "--sessions needs a value");
+    assert_usage_exit(
+        &["distributed", "--sessions", "4", "--migration-budget", "0"],
+        "bad --migration-budget value `0`",
+    );
+    assert_usage_exit(
+        &["distributed", "--sessions", "4", "--migration-budget", "-5"],
+        "bad --migration-budget value `-5`",
+    );
+    assert_usage_exit(
+        &["distributed", "--sessions", "4", "--migration-budget", "x"],
+        "bad --migration-budget value `x`",
+    );
+    // The replay is a `distributed`-only experiment with a fixed drift.
+    assert_usage_exit(
+        &["tpch", "--sessions", "4"],
+        "--sessions only applies to the `distributed` mode",
+    );
+    assert_usage_exit(
+        &["distributed", "--migration-budget", "10"],
+        "--migration-budget requires --sessions",
+    );
+    assert_usage_exit(
+        &["distributed", "--sessions", "4", "--partitioning", "workload", "--profile-from", "tpch"],
+        "drop --profile-from",
+    );
+    assert_usage_exit(
+        &["distributed", "--sessions", "4", "--partitioning", "hash"],
+        "--sessions replay uses the `workload` strategy",
+    );
+}
+
+#[test]
+fn sessions_drift_replay_smoke() {
+    // A tiny replay end to end: calibrate on TPC-H, drift to TPC-DS, adapt.
+    let out = repro(&[
+        "distributed",
+        "--sf",
+        "0.004",
+        "--sessions",
+        "6",
+        "--partitioning",
+        "workload",
+        "--migration-budget",
+        "512",
+    ]);
+    assert!(
+        out.status.success(),
+        "drift replay smoke failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Session drift replay"), "{stdout}");
+    assert!(stdout.contains("placement calibrated on tpch"), "{stdout}");
+    assert!(stdout.contains("migration"), "{stdout}");
+    assert!(stdout.contains("self-profiled yardstick"), "{stdout}");
+    assert!(stdout.contains("plan cache"), "{stdout}");
+}
+
+#[test]
 fn help_prints_usage_and_exits_zero() {
     let out = repro(&["--help"]);
     assert!(out.status.success());

@@ -27,6 +27,7 @@ use crate::interner::LabelId;
 use crate::partition::Partitioning;
 use crate::program::{Aggregator, Message};
 use crate::stats::{LabelTraffic, RunStats, StepStats};
+use std::sync::Arc;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -212,7 +213,7 @@ pub struct Computation<'g, V, M: Message> {
     inboxes: Vec<Vec<M>>,
     active: Vec<VertexId>,
     stats: RunStats,
-    partitioning: Option<Partitioning>,
+    partitioning: Option<Arc<Partitioning>>,
 }
 
 impl<'g, V: Send, M: Message> Computation<'g, V, M> {
@@ -233,6 +234,14 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
     /// Attach a machine partitioning: subsequent supersteps will count
     /// cross-machine traffic in their [`StepStats`].
     pub fn set_partitioning(&mut self, p: Partitioning) {
+        self.partitioning = Some(Arc::new(p));
+    }
+
+    /// [`Computation::set_partitioning`] without copying: callers that hold
+    /// a placement across many computations (a session serving a workload)
+    /// share one allocation instead of cloning the per-vertex assignment
+    /// into every run.
+    pub fn set_partitioning_shared(&mut self, p: Arc<Partitioning>) {
         self.partitioning = Some(p);
     }
 
@@ -330,7 +339,7 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
         let states = SharedMut(self.states.as_mut_ptr());
         let inboxes = SharedMut(self.inboxes.as_mut_ptr());
         let graph = self.graph;
-        let partitioning = self.partitioning.as_ref();
+        let partitioning = self.partitioning.as_deref();
 
         // --- compute phase -------------------------------------------------
         let mut results: Vec<(Outbox<'_, M>, G)> = Vec::with_capacity(workers);

@@ -38,8 +38,8 @@ pub use engine::{Computation, EngineConfig, Outbox, VertexCtx};
 pub use graph::{Edge, Graph, GraphBuilder, VertexId};
 pub use interner::{Interner, LabelId};
 pub use partition::{
-    balance_cap, PartitionDiagnostics, PartitionStrategy, Partitioning, RefineConfig,
-    DEFAULT_BALANCE_SLACK,
+    balance_cap, migrate_step, MigrationMove, MigrationStep, PartitionDiagnostics,
+    PartitionStrategy, Partitioning, RefineConfig, DEFAULT_BALANCE_SLACK,
 };
 pub use program::{run_program, Aggregator, Message, VertexProgram};
 pub use stats::{LabelTraffic, RunStats, StepStats, TrafficProfile};

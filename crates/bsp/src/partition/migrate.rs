@@ -1,0 +1,152 @@
+//! Incremental vertex migration between two partitionings.
+//!
+//! Online repartitioning (the `vcsql-session` adaptation loop) never swaps a
+//! placement wholesale: when the observed traffic profile drifts away from
+//! the one the current placement was derived from, a *target* partitioning is
+//! derived and the cluster walks toward it a bounded step at a time —
+//! [`migrate_step`] moves at most `budget` vertices per call and never pushes
+//! a machine above the balance cap, so each adaptation step has a bounded,
+//! attributable network cost (every moved vertex ships its state across the
+//! wire) and the cluster stays balanced mid-migration.
+//!
+//! Everything here is deterministic: vertices are considered in id order and
+//! a move happens exactly when the target disagrees with the current
+//! placement and the destination has cap headroom. Re-running the same step
+//! from the same inputs reproduces the identical outcome.
+
+use super::Partitioning;
+use crate::graph::VertexId;
+
+/// One vertex relocation performed by a migration step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationMove {
+    /// The migrated vertex.
+    pub vertex: VertexId,
+    /// Machine it left.
+    pub from: u16,
+    /// Machine it now lives on.
+    pub to: u16,
+}
+
+/// The outcome of one bounded migration step toward a target placement.
+#[derive(Debug, Clone)]
+pub struct MigrationStep {
+    /// The placement after this step.
+    pub partitioning: Partitioning,
+    /// Moves performed, in vertex-id order (at most the step's budget).
+    pub moves: Vec<MigrationMove>,
+    /// Vertices still placed differently from the target after this step.
+    /// `0` means the migration has converged. A step that performed no moves
+    /// while `remaining > 0` is cap-blocked and will never make further
+    /// progress (loads no longer change), so callers should treat that as
+    /// converged-under-cap.
+    pub remaining: usize,
+}
+
+/// Move at most `budget` vertices of `current` toward `target`, in vertex-id
+/// order, skipping any move whose destination machine already holds `cap`
+/// vertices. Panics if the two partitionings disagree on vertex count or
+/// machine count, or if `budget` is zero (a zero budget can never make
+/// progress — callers validate it up front).
+pub fn migrate_step(
+    current: &Partitioning,
+    target: &Partitioning,
+    budget: usize,
+    cap: usize,
+) -> MigrationStep {
+    assert_eq!(
+        current.machine_of.len(),
+        target.machine_of.len(),
+        "migration between partitionings of different graphs"
+    );
+    assert_eq!(current.machines, target.machines, "migration between different cluster sizes");
+    assert!(budget > 0, "zero migration budget");
+
+    let mut assignment = current.machine_of.clone();
+    let mut load = current.load();
+    let mut moves = Vec::new();
+    let mut remaining = 0usize;
+    for (v, (&cur, &tgt)) in current.machine_of.iter().zip(&target.machine_of).enumerate() {
+        if cur == tgt {
+            continue;
+        }
+        if moves.len() < budget && load[tgt as usize] < cap {
+            assignment[v] = tgt;
+            load[cur as usize] -= 1;
+            load[tgt as usize] += 1;
+            moves.push(MigrationMove { vertex: v as VertexId, from: cur, to: tgt });
+        } else {
+            remaining += 1;
+        }
+    }
+    MigrationStep {
+        partitioning: Partitioning { machine_of: assignment, machines: current.machines },
+        moves,
+        remaining,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(assignment: Vec<u16>, machines: usize) -> Partitioning {
+        Partitioning::from_assignment(assignment, machines)
+    }
+
+    #[test]
+    fn converges_to_target_within_budget_steps() {
+        let current = part(vec![0, 0, 0, 0, 1, 1], 2);
+        let target = part(vec![1, 1, 0, 0, 0, 1], 2);
+        let step1 = migrate_step(&current, &target, 2, 6);
+        assert_eq!(step1.moves.len(), 2);
+        assert_eq!(step1.remaining, 1);
+        let step2 = migrate_step(&step1.partitioning, &target, 2, 6);
+        assert_eq!(step2.moves.len(), 1);
+        assert_eq!(step2.remaining, 0);
+        for v in 0..6 {
+            assert_eq!(step2.partitioning.machine_of(v), target.machine_of(v));
+        }
+    }
+
+    #[test]
+    fn budget_bounds_each_step() {
+        let current = part(vec![0; 10], 2);
+        let target = part(vec![1; 10], 2);
+        let step = migrate_step(&current, &target, 3, 100);
+        assert_eq!(step.moves.len(), 3);
+        assert_eq!(step.remaining, 7);
+        // Moves happen in vertex-id order.
+        assert_eq!(step.moves[0].vertex, 0);
+        assert_eq!(step.moves[2].vertex, 2);
+    }
+
+    #[test]
+    fn cap_blocks_overloading_moves() {
+        // All six vertices want machine 1, but the cap holds four.
+        let current = part(vec![0, 0, 0, 0, 1, 1], 2);
+        let target = part(vec![1, 1, 1, 1, 1, 1], 2);
+        let step = migrate_step(&current, &target, 100, 4);
+        assert_eq!(step.moves.len(), 2, "only two cap slots were free on machine 1");
+        assert_eq!(step.partitioning.load(), vec![2, 4]);
+        assert_eq!(step.remaining, 2);
+        // A follow-up step is cap-blocked: no moves, remaining unchanged —
+        // the caller's signal to stop.
+        let stuck = migrate_step(&step.partitioning, &target, 100, 4);
+        assert!(stuck.moves.is_empty());
+        assert_eq!(stuck.remaining, 2);
+    }
+
+    #[test]
+    fn deterministic_and_noop_when_converged() {
+        let current = part(vec![0, 1, 0, 1], 2);
+        let target = part(vec![1, 1, 0, 0], 2);
+        let a = migrate_step(&current, &target, 1, 4);
+        let b = migrate_step(&current, &target, 1, 4);
+        assert_eq!(a.moves, b.moves);
+        assert_eq!(a.remaining, b.remaining);
+        let done = migrate_step(&target, &target, 5, 4);
+        assert!(done.moves.is_empty());
+        assert_eq!(done.remaining, 0);
+    }
+}

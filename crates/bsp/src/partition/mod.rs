@@ -35,9 +35,11 @@
 //! (`tests/robustness.rs`, `tests/partitioning.rs`).
 
 mod colocate;
+mod migrate;
 mod refine;
 mod workload;
 
+pub use migrate::{migrate_step, MigrationMove, MigrationStep};
 pub use refine::RefineConfig;
 
 use crate::graph::{Graph, VertexId};

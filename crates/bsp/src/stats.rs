@@ -221,6 +221,46 @@ impl TrafficProfile {
         self.entries.len()
     }
 
+    /// Total bytes over all profiled labels.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|t| t.bytes).sum()
+    }
+
+    /// Byte-weighted drift between this profile and the `baseline` it is
+    /// compared against, as the total-variation distance between the two
+    /// per-label *byte share* distributions:
+    ///
+    /// ```text
+    /// drift = ½ · Σ_label | bytes_self(l)/total_self − bytes_base(l)/total_base |
+    /// ```
+    ///
+    /// The result is in `[0, 1]`: 0 means the traffic is spread over the
+    /// labels in exactly the baseline's proportions (placement derived from
+    /// the baseline still fits), 1 means the workloads are label-disjoint.
+    /// Two traffic-free profiles have drift 0; traffic against an empty
+    /// baseline (e.g. a placement that was never profiled) drifts maximally.
+    /// This is the trigger metric for online repartitioning (`vcsql-session`).
+    pub fn byte_drift(&self, baseline: &TrafficProfile) -> f64 {
+        let (ta, tb) = (self.total_bytes() as f64, baseline.total_bytes() as f64);
+        if ta == 0.0 && tb == 0.0 {
+            return 0.0;
+        }
+        if ta == 0.0 || tb == 0.0 {
+            return 1.0;
+        }
+        let mut dist = 0.0;
+        for (name, t) in &self.entries {
+            let base = baseline.get(name).map(|b| b.bytes).unwrap_or(0);
+            dist += (t.bytes as f64 / ta - base as f64 / tb).abs();
+        }
+        for (name, t) in &baseline.entries {
+            if !self.entries.contains_key(name) {
+                dist += t.bytes as f64 / tb;
+            }
+        }
+        dist / 2.0
+    }
+
     /// True iff no label has been profiled.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
@@ -379,6 +419,39 @@ mod tests {
         assert_eq!(ok.unwrap().get("r.a").unwrap().network_bytes, 4);
         let banner = TrafficProfile::from_text("# banner\nvcsql-traffic-profile v1\nr.a 1 2 3 4\n");
         assert_eq!(banner.unwrap().get("r.a").unwrap().messages, 1);
+    }
+
+    #[test]
+    fn byte_drift_is_a_bounded_distance() {
+        let mut a = TrafficProfile::new();
+        a.record("r.x", LabelTraffic { messages: 1, bytes: 100, ..Default::default() });
+        a.record("r.y", LabelTraffic { messages: 1, bytes: 100, ..Default::default() });
+        // Identical shares (scale-free): zero drift.
+        let mut a2 = TrafficProfile::new();
+        a2.record("r.x", LabelTraffic { messages: 9, bytes: 700, ..Default::default() });
+        a2.record("r.y", LabelTraffic { messages: 9, bytes: 700, ..Default::default() });
+        assert!(a.byte_drift(&a).abs() < 1e-12);
+        assert!(a.byte_drift(&a2).abs() < 1e-12);
+        // Label-disjoint traffic: maximal drift, symmetric.
+        let mut b = TrafficProfile::new();
+        b.record("s.z", LabelTraffic { messages: 1, bytes: 50, ..Default::default() });
+        assert!((a.byte_drift(&b) - 1.0).abs() < 1e-12);
+        assert!((b.byte_drift(&a) - 1.0).abs() < 1e-12);
+        // Half the bytes moved to a new label: drift 0.5.
+        let mut c = TrafficProfile::new();
+        c.record("r.x", LabelTraffic { messages: 1, bytes: 100, ..Default::default() });
+        c.record("s.z", LabelTraffic { messages: 1, bytes: 100, ..Default::default() });
+        assert!((a.byte_drift(&c) - 0.5).abs() < 1e-12);
+        // Empty cases.
+        let empty = TrafficProfile::new();
+        assert_eq!(empty.byte_drift(&empty), 0.0);
+        assert_eq!(a.byte_drift(&empty), 1.0);
+        assert_eq!(empty.byte_drift(&a), 1.0);
+        // Zero-byte entries count as no traffic.
+        let mut zeros = TrafficProfile::new();
+        zeros.record("r.x", LabelTraffic::default());
+        assert_eq!(a.byte_drift(&zeros), 1.0);
+        assert_eq!(a.total_bytes(), 200);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! treatment); the dedicated worst-case-optimal cycle programs live in
 //! [`crate::cyclic`].
 
+use crate::plan::QueryPlan;
 use crate::table::{ColKey, Partial, Table, TagMsg};
 use std::sync::Arc;
 use vcsql_bsp::program::Aggregator;
@@ -38,9 +39,8 @@ use vcsql_bsp::{
     VertexCtx, VertexId,
 };
 use vcsql_query::analyze::{lower_subquery, Analyzed, LoweredSubquery, OutputItem};
-use vcsql_query::gyo::{decompose, Decomposition};
 use vcsql_query::tagplan::{Step, TagPlan};
-use vcsql_query::{parse, AggClass};
+use vcsql_query::AggClass;
 use vcsql_relation::agg::{Accumulator, AggFunc};
 use vcsql_relation::expr::{BoundExpr, CmpOp, ColRef, Expr};
 use vcsql_relation::schema::{Column, Schema};
@@ -73,7 +73,7 @@ pub struct ExecOutput {
 pub struct TagJoinExecutor<'t> {
     tag: &'t TagGraph,
     config: EngineConfig,
-    partitioning: Option<Partitioning>,
+    partitioning: Option<Arc<Partitioning>>,
 }
 
 impl<'t> TagJoinExecutor<'t> {
@@ -83,7 +83,14 @@ impl<'t> TagJoinExecutor<'t> {
     }
 
     /// Attach a simulated machine partitioning (network accounting).
-    pub fn with_partitioning(mut self, p: Partitioning) -> Self {
+    pub fn with_partitioning(self, p: Partitioning) -> Self {
+        self.with_partitioning_shared(Arc::new(p))
+    }
+
+    /// [`TagJoinExecutor::with_partitioning`] without copying: callers that
+    /// keep one placement across many queries (sessions) share the
+    /// allocation instead of cloning the per-vertex assignment per run.
+    pub fn with_partitioning_shared(mut self, p: Arc<Partitioning>) -> Self {
         self.partitioning = Some(p);
         self
     }
@@ -100,32 +107,28 @@ impl<'t> TagJoinExecutor<'t> {
 
     /// The attached partitioning, if any (for diagnostics).
     pub fn partitioning(&self) -> Option<&Partitioning> {
-        self.partitioning.as_ref()
+        self.partitioning.as_deref()
     }
 
-    /// Parse, analyze and execute a SQL string.
+    /// Parse, analyze, plan and execute a SQL string. One-shot convenience:
+    /// callers running a statement more than once should plan it once with
+    /// [`QueryPlan::prepare`] and reuse the plan via
+    /// [`TagJoinExecutor::execute_plan`] (or hold a `vcsql-session`
+    /// `Session`, which caches plans behind a bounded SQL-keyed cache).
     pub fn run_sql(&self, sql: &str) -> Result<ExecOutput> {
-        let stmt = parse(sql)?;
-        let analyzed = vcsql_query::analyze::analyze(&stmt, self.tag.schemas())?;
-        self.execute(&analyzed)
+        self.execute_plan(&QueryPlan::prepare(sql, self.tag.schemas())?)
     }
 
-    /// Execute an analyzed query.
+    /// Plan and execute an analyzed query.
     pub fn execute(&self, a: &Analyzed) -> Result<ExecOutput> {
-        // The traversal routes messages purely by edge label (`R.A`), so two
-        // aliases of one relation inside a single query block would
-        // interfere; subqueries run as separate computations and may reuse
-        // relations freely.
-        for (i, t) in a.tables.iter().enumerate() {
-            if a.tables[..i].iter().any(|u| u.relation == t.relation) {
-                return Err(RelError::Other(format!(
-                    "self-join on `{}` within one query block is not supported by the \
-                     vertex-centric executor (edge labels would be ambiguous)",
-                    t.relation
-                )));
-            }
-        }
+        self.execute_plan(&QueryPlan::new(a.clone())?)
+    }
 
+    /// Execute a prepared [`QueryPlan`]. The plan is a pure value — executing
+    /// it never mutates it, so one plan can serve any number of executions
+    /// (and any number of executors over the same schemas).
+    pub fn execute_plan(&self, plan: &QueryPlan) -> Result<ExecOutput> {
+        let a = plan.analyzed();
         let mut stats = RunStats::default();
 
         // ---- subqueries (recursive vertex-centric runs) --------------------
@@ -134,15 +137,14 @@ impl<'t> TagJoinExecutor<'t> {
             lowered.push(self.eval_subquery(sq, &mut stats)?);
         }
 
-        // ---- plan -----------------------------------------------------------
-        let dec = decompose(a.tables.len(), &a.joins);
-        let q = QueryCtx::build(self.tag, a, &dec, &lowered)?;
+        // ---- bind the plan to this TAG --------------------------------------
+        let q = QueryCtx::build(self.tag, plan, &lowered)?;
 
         // ---- engine ----------------------------------------------------------
         let mut comp: Computation<'_, St, TagMsg> =
             Computation::new(self.tag.graph(), self.config, |_| St::default());
         if let Some(p) = &self.partitioning {
-            comp.set_partitioning(p.clone());
+            comp.set_partitioning_shared(Arc::clone(p));
         }
 
         // Order components: primary last.
@@ -795,13 +797,13 @@ struct QueryCtx<'a> {
     filters: Vec<TupleFilter>,
     /// Per-table own-row spec: (output key, schema column); keys sorted.
     own_specs: Vec<Vec<(ColKey, usize)>>,
-    /// One TAG plan per component.
-    plans: Vec<TagPlan>,
-    steps: Vec<Vec<Step>>,
+    /// One TAG plan per component (borrowed from the prepared plan).
+    plans: &'a [TagPlan],
+    steps: &'a [Vec<Step>],
     /// Component whose roots assemble the final result.
     primary: usize,
     /// Component index by table.
-    component_of: Vec<usize>,
+    component_of: &'a [usize],
     /// The (sorted) final layout of value tables at the primary roots.
     final_layout: Vec<ColKey>,
     /// Residual checks bound to the final layout.
@@ -823,14 +825,12 @@ struct QueryCtx<'a> {
 impl<'a> QueryCtx<'a> {
     fn build(
         tag: &TagGraph,
-        a: &'a Analyzed,
-        dec: &Decomposition,
+        plan: &'a QueryPlan,
         lowered: &[LoweredCheck],
     ) -> Result<QueryCtx<'a>> {
+        let a = plan.analyzed();
+        let dec = &plan.dec;
         let n = a.tables.len();
-        if n == 0 {
-            return Err(RelError::Other("query has no tables".into()));
-        }
 
         // var_of as u32 keys.
         let mut var_of: FxHashMap<(usize, usize), u32> = FxHashMap::default();
@@ -983,32 +983,11 @@ impl<'a> QueryCtx<'a> {
             filters.push(TupleFilter { exprs, checks });
         }
 
-        // ---- plans --------------------------------------------------------------
-        let mut components = dec.components.clone();
-        let mut component_of = vec![0usize; n];
-        for (ci, c) in components.iter().enumerate() {
-            for &t in &c.tables {
-                component_of[t] = ci;
-            }
-        }
-        // Primary: the component holding the (first) group-by table, else the
-        // one with the most tables.
-        let primary = if let Some(&(gt, _)) = a.group_by.first() {
-            component_of[gt]
-        } else {
-            (0..components.len()).max_by_key(|&i| components[i].tables.len()).unwrap_or(0)
-        };
-        // For local aggregation, root the primary tree at the group table so
-        // partials can be routed along the root's own group-column edge.
-        if a.agg_class == AggClass::Local {
-            let gt = a.group_by[0].0;
-            if components[primary].tables.contains(&gt) {
-                components[primary].reroot(gt);
-            }
-        }
-        let plans: Vec<TagPlan> =
-            components.iter().map(|c| TagPlan::from_join_tree(c, dec)).collect();
-        let steps: Vec<Vec<Step>> = plans.iter().map(TagPlan::gen_steps).collect();
+        // ---- plans (prebuilt, borrowed from the prepared QueryPlan) -----------
+        let plans = plan.plans.as_slice();
+        let steps = plan.steps.as_slice();
+        let primary = plan.primary;
+        let component_of = plan.component_of.as_slice();
 
         // ---- labels ---------------------------------------------------------------
         let mut rel_label = Vec::with_capacity(n);
@@ -1021,7 +1000,7 @@ impl<'a> QueryCtx<'a> {
             table_of_label.insert(label, t);
         }
         let mut step_labels = FxHashMap::default();
-        for steps in &steps {
+        for steps in steps {
             for s in steps {
                 let rel = &a.tables[s.table].relation;
                 let label = tag.column_label(rel, s.col).ok_or_else(|| {
@@ -1125,7 +1104,7 @@ impl<'a> QueryCtx<'a> {
         // LA routing label: the primary root must own the first group column.
         let la_route = if a.agg_class == AggClass::Local {
             let (gt, gc) = a.group_by[0];
-            if components[primary].root == gt {
+            if plan.components[primary].root == gt {
                 tag.column_label(&a.tables[gt].relation, gc)
             } else {
                 None

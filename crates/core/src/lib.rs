@@ -24,9 +24,11 @@ pub mod cartesian;
 pub mod cyclic;
 pub mod exec;
 pub mod outer;
+pub mod plan;
 pub mod semi;
 pub mod table;
 pub mod twoway;
 
 pub use exec::{ExecOutput, TagJoinExecutor};
+pub use plan::QueryPlan;
 pub use table::{ColKey, Table, TagMsg};

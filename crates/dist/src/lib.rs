@@ -11,10 +11,9 @@
 //!
 //! This crate makes the claim reproducible without a cluster:
 //!
-//! * [`tag_distributed`] / [`tag_distributed_with`] — run the real TAG-join
-//!   executor under a [`Partitioning`](vcsql_bsp::Partitioning) of the TAG
-//!   graph over `k` simulated machines (hash baseline, or a locality-aware
-//!   [`PartitionStrategy`]), counting every message whose source and target
+//! * [`tag_distributed`] — run the real TAG-join executor under a hash
+//!   [`Partitioning`] of the TAG graph over `k`
+//!   simulated machines, counting every message whose source and target
 //!   vertices live on different machines;
 //! * [`tag_calibrate`] / [`tag_profiled`] — the two-phase workload-aware
 //!   loop: a calibration run under the hash baseline observes per-edge-label
@@ -25,6 +24,13 @@
 //!   exchanges (hash shuffles, broadcasts below the threshold);
 //! * [`modelled_runtime`] — combine measured local compute with modelled
 //!   network time at a given bandwidth (the paper's Fig 16 runtime model).
+//!
+//! The multi-query lifecycle — prepared statements behind a plan cache, one
+//! placement shared across queries, *online* repartitioning as the mix
+//! drifts — lives in the `vcsql-session` crate (`Session` / `Cluster`); its
+//! `Cluster` builder subsumes the older free-function entry points here
+//! (`tag_distributed_with` / `tag_distributed_under` remain as deprecated
+//! wrappers for one release).
 
 pub mod netstats;
 pub mod spark;
@@ -74,7 +80,7 @@ pub fn tag_calibrate(
     let p = tag_partitioning(tag, machines, &PartitionStrategy::Hash);
     let mut profile = TrafficProfile::new();
     for a in workload {
-        let (out, _) = tag_distributed_under(tag, a, p.clone(), config)?;
+        let (out, _) = execute_under(tag, a, p.clone(), config)?;
         profile.absorb(&TrafficProfile::from_run(&out.stats, tag.graph()));
     }
     profile.cover_graph(tag.graph());
@@ -102,7 +108,7 @@ pub fn tag_profiled(
     let partitioning = tag_partitioning(tag, machines, &strategy);
     let mut outputs = Vec::with_capacity(measure.len());
     for a in measure {
-        outputs.push(tag_distributed_under(tag, a, partitioning.clone(), config)?);
+        outputs.push(execute_under(tag, a, partitioning.clone(), config)?);
     }
     Ok((profile, partitioning, outputs))
 }
@@ -120,12 +126,17 @@ pub fn tag_distributed(
     machines: usize,
     config: EngineConfig,
 ) -> Result<(ExecOutput, NetStats)> {
-    tag_distributed_with(tag, a, machines, &PartitionStrategy::Hash, config)
+    if machines == 0 {
+        return Err(RelError::Other("cluster needs at least one machine".into()));
+    }
+    execute_under(tag, a, tag_partitioning(tag, machines, &PartitionStrategy::Hash), config)
 }
 
-/// [`tag_distributed`] with an explicit [`PartitionStrategy`] — the
-/// locality-aware strategies keep most TAG edges machine-local and are what
-/// closes the gap to the paper's 9x Spark-vs-TAG traffic ratio.
+/// [`tag_distributed`] with an explicit [`PartitionStrategy`].
+#[deprecated(
+    since = "0.1.0",
+    note = "build a session instead: `vcsql_session::Cluster::new(machines).strategy(..).session(&tag)`"
+)]
 pub fn tag_distributed_with(
     tag: &TagGraph,
     a: &Analyzed,
@@ -136,12 +147,27 @@ pub fn tag_distributed_with(
     if machines == 0 {
         return Err(RelError::Other("cluster needs at least one machine".into()));
     }
-    tag_distributed_under(tag, a, tag_partitioning(tag, machines, strategy), config)
+    execute_under(tag, a, tag_partitioning(tag, machines, strategy), config)
 }
 
-/// [`tag_distributed`] under a prebuilt [`Partitioning`] — callers measuring
-/// a whole workload build each partitioning once and reuse it per query.
+/// [`tag_distributed`] under a prebuilt [`Partitioning`].
+#[deprecated(
+    since = "0.1.0",
+    note = "build a session instead: a `vcsql_session::Session` holds one placement across \
+            queries (and adapts it online); `Cluster::new(machines).session(&tag)`"
+)]
 pub fn tag_distributed_under(
+    tag: &TagGraph,
+    a: &Analyzed,
+    partitioning: Partitioning,
+    config: EngineConfig,
+) -> Result<(ExecOutput, NetStats)> {
+    execute_under(tag, a, partitioning, config)
+}
+
+/// Shared body of the one-shot entry points: run under a prebuilt
+/// partitioning and split out the network share of the traffic.
+fn execute_under(
     tag: &TagGraph,
     a: &Analyzed,
     partitioning: Partitioning,
@@ -152,6 +178,7 @@ pub fn tag_distributed_under(
         network_messages: out.stats.totals.network_messages,
         network_bytes: out.stats.totals.network_bytes,
         rounds: out.stats.supersteps,
+        ..Default::default()
     };
     Ok((out, net))
 }
@@ -183,6 +210,18 @@ mod tests {
 
     fn analyzed(tag: &TagGraph, sql: &str) -> Analyzed {
         analyze(&parse(sql).unwrap(), tag.schemas()).unwrap()
+    }
+
+    /// Strategy-driven run via the shared body (what the deprecated
+    /// `tag_distributed_with` wraps).
+    fn run_with(
+        tag: &TagGraph,
+        a: &Analyzed,
+        machines: usize,
+        strategy: &PartitionStrategy,
+        config: EngineConfig,
+    ) -> Result<(ExecOutput, NetStats)> {
+        execute_under(tag, a, tag_partitioning(tag, machines, strategy), config)
     }
 
     const JOIN_SQL: &str = "SELECT c.c_name FROM customer c, orders o, lineitem l \
@@ -219,11 +258,9 @@ mod tests {
         let a = analyzed(&tag, JOIN_SQL);
         let local = TagJoinExecutor::new(&tag, EngineConfig::sequential()).execute(&a).unwrap();
         let (_, hash) =
-            tag_distributed_with(&tag, &a, 6, &PartitionStrategy::Hash, EngineConfig::sequential())
-                .unwrap();
+            run_with(&tag, &a, 6, &PartitionStrategy::Hash, EngineConfig::sequential()).unwrap();
         for strategy in [PartitionStrategy::CoLocate, PartitionStrategy::Refined] {
-            let (out, net) =
-                tag_distributed_with(&tag, &a, 6, &strategy, EngineConfig::sequential()).unwrap();
+            let (out, net) = run_with(&tag, &a, 6, &strategy, EngineConfig::sequential()).unwrap();
             assert!(
                 out.relation.same_bag_approx(&local.relation, 1e-9),
                 "{}: partitioning changed the result",
@@ -316,7 +353,12 @@ mod tests {
 
     #[test]
     fn modelled_runtime_adds_transfer_time() {
-        let net = NetStats { network_messages: 1, network_bytes: 2_000_000_000, rounds: 1 };
+        let net = NetStats {
+            network_messages: 1,
+            network_bytes: 2_000_000_000,
+            rounds: 1,
+            ..Default::default()
+        };
         let t = modelled_runtime(0.5, &net, 1e9).unwrap();
         assert!((t - 2.5).abs() < 1e-9);
     }
@@ -327,6 +369,26 @@ mod tests {
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             assert!(modelled_runtime(0.5, &net, bad).is_err(), "bandwidth {bad} accepted");
         }
+    }
+
+    /// The deprecated one-release wrappers must keep behaving exactly like
+    /// the shared body they delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let db = tpch::generate(0.01, 11);
+        let tag = TagGraph::build(&db);
+        let a = analyzed(&tag, JOIN_SQL);
+        let strategy = PartitionStrategy::Refined;
+        let (out_w, net_w) =
+            tag_distributed_with(&tag, &a, 6, &strategy, EngineConfig::sequential()).unwrap();
+        let (out_d, net_d) = run_with(&tag, &a, 6, &strategy, EngineConfig::sequential()).unwrap();
+        assert!(out_w.relation.same_bag_approx(&out_d.relation, 1e-9));
+        assert_eq!(net_w, net_d);
+        let p = tag_partitioning(&tag, 6, &strategy);
+        let (_, net_u) = tag_distributed_under(&tag, &a, p, EngineConfig::sequential()).unwrap();
+        assert_eq!(net_u, net_d);
+        assert!(tag_distributed_with(&tag, &a, 0, &strategy, EngineConfig::sequential()).is_err());
     }
 
     #[test]
@@ -355,8 +417,7 @@ mod tests {
         let a = analyzed(&tag, JOIN_SQL);
         let local = TagJoinExecutor::new(&tag, EngineConfig::sequential()).execute(&a).unwrap();
         let (_, hash) =
-            tag_distributed_with(&tag, &a, 6, &PartitionStrategy::Hash, EngineConfig::sequential())
-                .unwrap();
+            run_with(&tag, &a, 6, &PartitionStrategy::Hash, EngineConfig::sequential()).unwrap();
         let workload = std::slice::from_ref(&a);
         let (profile, partitioning, outputs) =
             tag_profiled(&tag, workload, workload, 6, EngineConfig::sequential()).unwrap();

@@ -23,6 +23,14 @@ pub struct NetStats {
     /// Communication rounds: BSP supersteps (TAG) or exchange stages —
     /// shuffles plus broadcasts (Spark model).
     pub rounds: u64,
+    /// Of `network_messages`, those that were *vertex migrations*: online
+    /// repartitioning relocating a vertex's state to another machine
+    /// (`vcsql-session`'s adaptation loop). Itemized so adaptation cost is
+    /// visible, but included in the totals — shipping state is real traffic.
+    pub migration_messages: u64,
+    /// Of `network_bytes`, the bytes of migrated vertex state. Invariant:
+    /// `migration_bytes <= network_bytes`.
+    pub migration_bytes: u64,
 }
 
 impl NetStats {
@@ -31,6 +39,8 @@ impl NetStats {
         self.network_messages += other.network_messages;
         self.network_bytes += other.network_bytes;
         self.rounds += other.rounds;
+        self.migration_messages += other.migration_messages;
+        self.migration_bytes += other.migration_bytes;
     }
 
     /// Record one exchange of `tuples` totalling `bytes`.
@@ -38,6 +48,17 @@ impl NetStats {
         self.network_messages += tuples;
         self.network_bytes += bytes;
         self.rounds += 1;
+    }
+
+    /// Charge the relocation of `vertices` vertices totalling `bytes` of
+    /// state to the network (online repartitioning). Grows both the totals
+    /// and the itemized migration counters; migrations ride along existing
+    /// supersteps, so `rounds` is untouched.
+    pub fn record_migration(&mut self, vertices: u64, bytes: u64) {
+        self.network_messages += vertices;
+        self.network_bytes += bytes;
+        self.migration_messages += vertices;
+        self.migration_bytes += bytes;
     }
 }
 
@@ -81,6 +102,25 @@ mod tests {
         let mut b = NetStats::default();
         b.record_exchange(5, 50);
         a.absorb(&b);
-        assert_eq!(a, NetStats { network_messages: 15, network_bytes: 150, rounds: 2 });
+        assert_eq!(
+            a,
+            NetStats { network_messages: 15, network_bytes: 150, rounds: 2, ..Default::default() }
+        );
+    }
+
+    #[test]
+    fn migration_is_itemized_and_counted_in_totals() {
+        let mut n = NetStats::default();
+        n.record_exchange(10, 100);
+        n.record_migration(3, 48);
+        assert_eq!(n.network_messages, 13);
+        assert_eq!(n.network_bytes, 148);
+        assert_eq!(n.migration_messages, 3);
+        assert_eq!(n.migration_bytes, 48);
+        assert_eq!(n.rounds, 1, "migration must not add a round");
+        assert!(n.migration_bytes <= n.network_bytes);
+        let mut m = NetStats::default();
+        m.absorb(&n);
+        assert_eq!(m.migration_bytes, 48);
     }
 }

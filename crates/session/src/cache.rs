@@ -1,0 +1,175 @@
+//! The bounded, SQL-keyed plan cache behind [`Session::prepare`].
+//!
+//! Plans depend only on the SQL text and the schemas, never on the data, so
+//! a session over one TAG can cache them indefinitely; the cache is bounded
+//! (least-recently-used eviction) so a session serving ad-hoc traffic cannot
+//! grow without limit, and it keeps hit/miss statistics so operators can see
+//! whether their workload actually reuses statements.
+//!
+//! [`Session::prepare`]: crate::Session::prepare
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use vcsql_core::QueryPlan;
+use vcsql_relation::{FxHashMap, RelError};
+
+/// A bounded LRU cache of prepared [`QueryPlan`]s, keyed by SQL text.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    plans: FxHashMap<String, Arc<QueryPlan>>,
+    /// Recency order: front = least recently used, back = most recent.
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans. Panics on zero capacity (a
+    /// session validates its configuration before building one).
+    pub fn new(capacity: usize) -> PlanCache {
+        assert!(capacity > 0, "plan cache needs capacity for at least one plan");
+        PlanCache {
+            capacity,
+            plans: FxHashMap::default(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up `sql`, building and inserting the plan on a miss. A hit
+    /// refreshes the entry's recency; an insert beyond capacity evicts the
+    /// least recently used plan. Planning errors are returned as-is and
+    /// cache nothing.
+    pub fn get_or_try_insert(
+        &mut self,
+        sql: &str,
+        build: impl FnOnce() -> Result<QueryPlan, RelError>,
+    ) -> Result<Arc<QueryPlan>, RelError> {
+        if let Some(plan) = self.plans.get(sql) {
+            self.hits += 1;
+            let plan = Arc::clone(plan);
+            self.touch(sql);
+            return Ok(plan);
+        }
+        let plan = Arc::new(build()?);
+        self.misses += 1;
+        if self.plans.len() == self.capacity {
+            if let Some(lru) = self.order.pop_front() {
+                self.plans.remove(&lru);
+            }
+        }
+        self.plans.insert(sql.to_string(), Arc::clone(&plan));
+        self.order.push_back(sql.to_string());
+        Ok(plan)
+    }
+
+    /// Move `sql` to the most-recently-used position.
+    fn touch(&mut self, sql: &str) {
+        if let Some(pos) = self.order.iter().position(|s| s == sql) {
+            let s = self.order.remove(pos).expect("position just found");
+            self.order.push_back(s);
+        }
+    }
+
+    /// True iff `sql` is currently cached (does not affect recency/stats).
+    pub fn contains(&self, sql: &str) -> bool {
+        self.plans.contains_key(sql)
+    }
+
+    /// Cached plans right now.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to plan from scratch.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsql_relation::schema::{Column, Schema};
+    use vcsql_relation::DataType;
+
+    fn schemas() -> Vec<Schema> {
+        vec![Schema::new(
+            "r",
+            vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+        )]
+    }
+
+    fn plan_for(cache: &mut PlanCache, sql: &str) -> Arc<QueryPlan> {
+        let s = schemas();
+        cache.get_or_try_insert(sql, || QueryPlan::prepare(sql, &s)).unwrap()
+    }
+
+    #[test]
+    fn repeated_prepare_hits_distinct_sql_misses() {
+        let mut cache = PlanCache::new(8);
+        let q1 = "SELECT r.a FROM r";
+        let q2 = "SELECT r.b FROM r";
+        let first = plan_for(&mut cache, q1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let again = plan_for(&mut cache, q1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A hit returns the very same plan allocation.
+        assert!(Arc::ptr_eq(&first, &again));
+        plan_for(&mut cache, q2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let mut cache = PlanCache::new(2);
+        let (a, b, c) = ("SELECT r.a FROM r", "SELECT r.b FROM r", "SELECT r.a, r.b FROM r");
+        plan_for(&mut cache, a);
+        plan_for(&mut cache, b);
+        // Touch `a` so `b` becomes the LRU entry, then overflow with `c`.
+        plan_for(&mut cache, a);
+        plan_for(&mut cache, c);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(a), "recently used entry must survive");
+        assert!(!cache.contains(b), "LRU entry must be evicted");
+        assert!(cache.contains(c));
+        // Re-preparing the evicted statement is a miss again.
+        plan_for(&mut cache, b);
+        assert_eq!(cache.misses(), 4);
+        assert!(!cache.contains(a), "a became LRU after c and b were touched");
+    }
+
+    #[test]
+    fn planning_errors_cache_nothing() {
+        let mut cache = PlanCache::new(2);
+        let s = schemas();
+        let bad = "SELECT nope FROM nowhere";
+        assert!(cache.get_or_try_insert(bad, || QueryPlan::prepare(bad, &s)).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        PlanCache::new(0);
+    }
+}

@@ -1,0 +1,582 @@
+//! # vcsql-session — the long-lived, session-centric engine API
+//!
+//! The paper's scheme (Smagulova & Deutsch, SIGMOD 2021) encodes the
+//! database *once* and runs many queries against it, and communication-
+//! optimal parallel evaluation is fundamentally a multi-round, workload-
+//! dependent problem (Beame–Koutris–Suciu). The one-shot entry points the
+//! reproduction grew up with (`run_sql`, the `vcsql-dist` free functions)
+//! model neither, so this crate owns the lifecycle:
+//!
+//! * [`Session::open`] — bind a [`TagGraph`] to a [`SessionConfig`] (machine
+//!   count, engine, initial placement strategy, adaptation knobs);
+//! * [`Session::prepare`] — parse → analyze → GYO → TAG plan once, behind a
+//!   bounded SQL-keyed [`PlanCache`] with hit/miss statistics, yielding a
+//!   reusable [`PreparedQuery`];
+//! * [`Session::execute`] / [`Session::run_sql`] — run under the session's
+//!   current placement, fold the run's per-edge-label traffic into a
+//!   cross-query [`TrafficProfile`], and *adapt*: when the accumulated
+//!   profile drifts (byte-weighted total-variation distance,
+//!   [`TrafficProfile::byte_drift`]) past the configured threshold, the
+//!   session derives a fresh `Workload` placement and migrates vertices
+//!   toward it incrementally — at most [`SessionConfig::migration_budget`]
+//!   vertices per execution, never above the balance cap — charging every
+//!   migrated vertex's state to [`NetStats`] so adaptation cost is honest;
+//! * [`PreparedQuery::with_placement_hint`] — per-query placement overrides
+//!   for conflicts no single placement can serve (the q17-style
+//!   part–lineitem clash: `lineitem` cannot co-partition with both `orders`
+//!   and `part`). Hint precedence: query hint > session placement > initial
+//!   strategy.
+//!
+//! [`Cluster`] is the builder that subsumes the old `vcsql-dist`
+//! calibrate→profile→execute free functions:
+//! `Cluster::new(machines).bandwidth(..).strategy(..).session(&tag)`.
+
+mod cache;
+mod cluster;
+
+pub use cache::PlanCache;
+pub use cluster::Cluster;
+pub use vcsql_core::{ExecOutput, QueryPlan, TagJoinExecutor};
+pub use vcsql_dist::NetStats;
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use vcsql_bsp::{
+    balance_cap, migrate_step, EngineConfig, PartitionStrategy, Partitioning, TrafficProfile,
+    VertexId, DEFAULT_BALANCE_SLACK,
+};
+use vcsql_relation::{RelError, Value};
+use vcsql_tag::TagGraph;
+
+type Result<T> = std::result::Result<T, RelError>;
+
+/// Configuration of a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Simulated machines. `1` runs purely locally (no partitioning, no
+    /// network accounting, no adaptation).
+    pub machines: usize,
+    /// BSP engine tuning.
+    pub engine: EngineConfig,
+    /// Initial placement strategy (ignored when `machines == 1`). A
+    /// [`PartitionStrategy::Workload`] strategy also seeds the session's
+    /// traffic knowledge with its calibration profile.
+    pub strategy: PartitionStrategy,
+    /// Plan-cache capacity (must be at least 1).
+    pub plan_cache_capacity: usize,
+    /// Online-repartitioning trigger: adapt when the accumulated traffic
+    /// profile's byte-weighted drift from the placement's profile exceeds
+    /// this. Drift lives in `[0, 1]`, so any threshold above `1.0` disables
+    /// adaptation (static placement).
+    pub drift_threshold: f64,
+    /// Most vertices migrated per execution step while walking toward an
+    /// adaptation target (must be at least 1).
+    pub migration_budget: usize,
+    /// Relative headroom over the ideal per-machine load that placement and
+    /// migration may use (the partitioning subsystem's 20% cap by default).
+    pub balance_slack: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            machines: 1,
+            engine: EngineConfig::default(),
+            strategy: PartitionStrategy::Refined,
+            plan_cache_capacity: 128,
+            drift_threshold: 0.25,
+            migration_budget: 2048,
+            balance_slack: DEFAULT_BALANCE_SLACK,
+        }
+    }
+}
+
+/// Counters a session accumulates over its lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Executions served (prepared or ad-hoc).
+    pub queries: u64,
+    /// Adaptation targets derived (drift threshold crossings).
+    pub adaptations: u64,
+    /// Migration steps that moved at least one vertex.
+    pub migration_steps: u64,
+    /// Vertices migrated across all adaptation steps.
+    pub migrated_vertices: u64,
+    /// Bytes of migrated vertex state (also itemized per query in the
+    /// returned [`NetStats`]).
+    pub migration_bytes: u64,
+    /// Cumulative network traffic over every execution, migrations included.
+    pub net: NetStats,
+}
+
+/// A prepared statement: a cached, reusable plan plus optional per-query
+/// placement hints.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    sql: String,
+    plan: Arc<QueryPlan>,
+    hint: Option<TrafficProfile>,
+    /// Placement derived from the hint, built lazily on first execution and
+    /// reused while the executing session's machine count matches the
+    /// cached one (a prepared statement may outlive one session and be
+    /// executed on another — over the same TAG, since plans are
+    /// schema-bound — with a different cluster size).
+    hint_partitioning: RefCell<Option<(usize, Arc<Partitioning>)>>,
+}
+
+impl PreparedQuery {
+    /// The SQL text this statement was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// Attach a per-query placement hint: executions of this statement run
+    /// under a dedicated `Workload(profile)` placement instead of the
+    /// session's, taking precedence over session adaptation (which neither
+    /// sees hinted placements nor migrates because of them). This serves
+    /// q17-style conflicts where no single placement can win: a profile of
+    /// the query's own traffic keeps `lineitem` with `part` for this
+    /// statement while the session placement keeps it with `orders`.
+    pub fn with_placement_hint(mut self, profile: TrafficProfile) -> PreparedQuery {
+        self.hint = Some(profile);
+        self.hint_partitioning = RefCell::new(None);
+        self
+    }
+
+    /// The placement hint, if any.
+    pub fn placement_hint(&self) -> Option<&TrafficProfile> {
+        self.hint.as_ref()
+    }
+}
+
+/// An in-flight adaptation: the target placement and the profile snapshot it
+/// was derived from (adopted as the placement's profile once the walk
+/// completes).
+#[derive(Debug)]
+struct PendingMigration {
+    target: Partitioning,
+    profile: TrafficProfile,
+}
+
+/// A long-lived query session over one TAG graph: prepared statements, a
+/// plan cache, one placement shared across queries, and online
+/// repartitioning as the observed workload drifts.
+pub struct Session<'t> {
+    tag: &'t TagGraph,
+    config: SessionConfig,
+    cache: PlanCache,
+    /// Current placement (`None` when `machines == 1`), shared with the
+    /// executor per run instead of copied.
+    partitioning: Option<Arc<Partitioning>>,
+    /// The profile the current placement was derived from (empty for the
+    /// static strategies — any observed traffic then drifts maximally and
+    /// self-tunes the session on first use).
+    placement_profile: TrafficProfile,
+    /// Cross-query observed traffic, seeded with the placement profile.
+    accumulated: TrafficProfile,
+    pending: Option<PendingMigration>,
+    stats: SessionStats,
+}
+
+impl<'t> Session<'t> {
+    /// Open a session over `tag`. Validates the configuration: at least one
+    /// machine, a non-empty plan cache, a positive migration budget, a
+    /// positive finite drift threshold and non-negative balance slack.
+    pub fn open(tag: &'t TagGraph, config: SessionConfig) -> Result<Session<'t>> {
+        if config.machines == 0 {
+            return Err(RelError::Other("session needs at least one machine".into()));
+        }
+        if config.machines > u16::MAX as usize {
+            return Err(RelError::Other("session machine count exceeds u16".into()));
+        }
+        if config.plan_cache_capacity == 0 {
+            return Err(RelError::Other("plan cache needs capacity for at least one plan".into()));
+        }
+        if config.migration_budget == 0 {
+            return Err(RelError::Other(
+                "migration budget must allow at least one vertex per step".into(),
+            ));
+        }
+        if !config.drift_threshold.is_finite() || config.drift_threshold <= 0.0 {
+            return Err(RelError::Other(format!(
+                "drift threshold must be positive and finite, got {}",
+                config.drift_threshold
+            )));
+        }
+        if !config.balance_slack.is_finite() || config.balance_slack < 0.0 {
+            return Err(RelError::Other(format!(
+                "balance slack must be non-negative, got {}",
+                config.balance_slack
+            )));
+        }
+        let partitioning = (config.machines > 1).then(|| {
+            Arc::new(vcsql_dist::tag_partitioning(tag, config.machines, &config.strategy))
+        });
+        let placement_profile = match &config.strategy {
+            PartitionStrategy::Workload(p) => p.clone(),
+            _ => TrafficProfile::new(),
+        };
+        let cache = PlanCache::new(config.plan_cache_capacity);
+        Ok(Session {
+            tag,
+            accumulated: placement_profile.clone(),
+            placement_profile,
+            partitioning,
+            pending: None,
+            stats: SessionStats::default(),
+            cache,
+            config,
+        })
+    }
+
+    /// Prepare a statement: parse → analyze → GYO → TAG plan, served from
+    /// the plan cache when this SQL was prepared before.
+    pub fn prepare(&mut self, sql: &str) -> Result<PreparedQuery> {
+        let schemas = self.tag.schemas();
+        let plan = self.cache.get_or_try_insert(sql, || QueryPlan::prepare(sql, schemas))?;
+        Ok(PreparedQuery {
+            sql: sql.to_string(),
+            plan,
+            hint: None,
+            hint_partitioning: RefCell::new(None),
+        })
+    }
+
+    /// Execute a prepared statement under the session's placement (or the
+    /// statement's hint placement), returning the execution output and the
+    /// network share of its traffic — including, itemized, the bytes of any
+    /// vertex migration this execution's adaptation step performed.
+    pub fn execute(&mut self, prepared: &PreparedQuery) -> Result<(ExecOutput, NetStats)> {
+        let mut exec = TagJoinExecutor::new(self.tag, self.config.engine);
+        if let Some(p) = self.placement_for(prepared) {
+            exec = exec.with_partitioning_shared(p);
+        }
+        let out = exec.execute_plan(prepared.plan())?;
+        let mut net = NetStats {
+            network_messages: out.stats.totals.network_messages,
+            network_bytes: out.stats.totals.network_bytes,
+            rounds: out.stats.supersteps,
+            ..Default::default()
+        };
+        self.accumulated.absorb(&TrafficProfile::from_run(&out.stats, self.tag.graph()));
+        self.stats.queries += 1;
+        // Hinted executions bypass adaptation entirely: their placement is
+        // per-query, so neither the drift check nor a migration step runs.
+        if prepared.hint.is_none() {
+            self.adapt(&mut net);
+        }
+        self.stats.net.absorb(&net);
+        Ok((out, net))
+    }
+
+    /// Prepare (through the cache) and execute in one call.
+    pub fn run_sql(&mut self, sql: &str) -> Result<(ExecOutput, NetStats)> {
+        let prepared = self.prepare(sql)?;
+        self.execute(&prepared)
+    }
+
+    /// The placement this execution runs under: the statement's hint
+    /// placement if any (rebuilt when the cached one was derived for a
+    /// different machine count), else the session's current placement.
+    fn placement_for(&self, prepared: &PreparedQuery) -> Option<Arc<Partitioning>> {
+        if self.config.machines <= 1 {
+            return None;
+        }
+        match &prepared.hint {
+            Some(profile) => {
+                let mut cached = prepared.hint_partitioning.borrow_mut();
+                match cached.as_ref() {
+                    Some((machines, p)) if *machines == self.config.machines => Some(Arc::clone(p)),
+                    _ => {
+                        let p = Arc::new(vcsql_dist::tag_partitioning(
+                            self.tag,
+                            self.config.machines,
+                            &PartitionStrategy::Workload(profile.clone()),
+                        ));
+                        *cached = Some((self.config.machines, Arc::clone(&p)));
+                        Some(p)
+                    }
+                }
+            }
+            None => self.partitioning.clone(),
+        }
+    }
+
+    /// The online-repartitioning step run after each unhinted execution:
+    /// derive a target placement when drift crosses the threshold, then walk
+    /// toward the pending target one bounded migration step at a time,
+    /// charging migrated vertex state to `net`.
+    fn adapt(&mut self, net: &mut NetStats) {
+        if self.config.machines <= 1 {
+            return;
+        }
+        if self.pending.is_none()
+            && self.accumulated.byte_drift(&self.placement_profile) > self.config.drift_threshold
+        {
+            let profile = self.accumulated.clone();
+            let target = vcsql_dist::tag_partitioning(
+                self.tag,
+                self.config.machines,
+                &PartitionStrategy::Workload(profile.clone()),
+            );
+            self.pending = Some(PendingMigration { target, profile });
+            self.stats.adaptations += 1;
+        }
+        let Some(pending) = &self.pending else { return };
+        let current = self.partitioning.as_deref().expect("machines > 1 implies a placement");
+        let cap = balance_cap(
+            self.tag.graph().vertex_count(),
+            self.config.machines,
+            self.config.balance_slack,
+        );
+        let step = migrate_step(current, &pending.target, self.config.migration_budget, cap);
+        if !step.moves.is_empty() {
+            let bytes: u64 =
+                step.moves.iter().map(|m| vertex_state_bytes(self.tag, m.vertex)).sum();
+            net.record_migration(step.moves.len() as u64, bytes);
+            self.stats.migration_steps += 1;
+            self.stats.migrated_vertices += step.moves.len() as u64;
+            self.stats.migration_bytes += bytes;
+        }
+        // Converged — or cap-blocked with no progress possible (loads no
+        // longer change): adopt the target's profile either way.
+        let done = step.remaining == 0 || step.moves.is_empty();
+        self.partitioning = Some(Arc::new(step.partitioning));
+        if done {
+            let finished = self.pending.take().expect("pending checked above");
+            self.placement_profile = finished.profile;
+        }
+    }
+
+    /// The TAG graph this session serves.
+    pub fn tag(&self) -> &'t TagGraph {
+        self.tag
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The current placement (`None` on a single machine). Mid-migration
+    /// this is the in-between placement the next query will run under.
+    pub fn partitioning(&self) -> Option<&Partitioning> {
+        self.partitioning.as_deref()
+    }
+
+    /// The cross-query observed traffic profile (seeded with the initial
+    /// strategy's calibration profile, if it had one).
+    pub fn accumulated_profile(&self) -> &TrafficProfile {
+        &self.accumulated
+    }
+
+    /// The profile the current placement was derived from.
+    pub fn placement_profile(&self) -> &TrafficProfile {
+        &self.placement_profile
+    }
+
+    /// True iff an adaptation is mid-walk (a target placement exists that
+    /// the session has not fully migrated to yet).
+    pub fn migration_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The plan cache (capacity, occupancy, hit/miss counters).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+}
+
+/// Wire size of one vertex's state, charged when the vertex migrates: the
+/// same 8-byte-word-plus-aligned-strings model both engines charge for
+/// messages (`Table::approx_bytes`, `unsafe_row_bytes`), plus one id word.
+fn vertex_state_bytes(tag: &TagGraph, v: VertexId) -> u64 {
+    let value_words = |val: &Value| -> u64 {
+        8 + match val {
+            Value::Str(s) => (s.len() as u64).div_ceil(8) * 8,
+            _ => 0,
+        }
+    };
+    8 + match tag.tuple(v) {
+        Some(t) => t.0.iter().map(value_words).sum::<u64>(),
+        None => tag.attr_value(v).map(value_words).unwrap_or(8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsql_workload::tpch;
+
+    fn session(machines: usize) -> (TagGraph, SessionConfig) {
+        let db = tpch::generate(0.01, 42);
+        let tag = TagGraph::build(&db);
+        let config = SessionConfig {
+            machines,
+            engine: EngineConfig::sequential(),
+            ..SessionConfig::default()
+        };
+        (tag, config)
+    }
+
+    const JOIN_SQL: &str = "SELECT c.c_name FROM customer c, orders o, lineitem l \
+                            WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey";
+
+    #[test]
+    fn open_validates_configuration() {
+        let (tag, config) = session(1);
+        assert!(Session::open(&tag, SessionConfig { machines: 0, ..config.clone() }).is_err());
+        assert!(Session::open(&tag, SessionConfig { plan_cache_capacity: 0, ..config.clone() })
+            .is_err());
+        assert!(
+            Session::open(&tag, SessionConfig { migration_budget: 0, ..config.clone() }).is_err()
+        );
+        assert!(
+            Session::open(&tag, SessionConfig { drift_threshold: 0.0, ..config.clone() }).is_err()
+        );
+        assert!(Session::open(&tag, SessionConfig { drift_threshold: f64::NAN, ..config.clone() })
+            .is_err());
+        assert!(
+            Session::open(&tag, SessionConfig { balance_slack: -0.1, ..config.clone() }).is_err()
+        );
+        assert!(Session::open(&tag, config).is_ok());
+    }
+
+    #[test]
+    fn prepared_execution_matches_one_shot_run_sql() {
+        let (tag, config) = session(1);
+        let mut s = Session::open(&tag, config.clone()).unwrap();
+        let prepared = s.prepare(JOIN_SQL).unwrap();
+        let (out, net) = s.execute(&prepared).unwrap();
+        let oneshot =
+            TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(JOIN_SQL).unwrap();
+        assert!(out.relation.same_bag_approx(&oneshot.relation, 1e-9));
+        assert_eq!(out.stats.total_messages(), oneshot.stats.total_messages());
+        assert_eq!(net.network_bytes, 0, "single machine never uses the network");
+        // Second execution reuses the cached plan.
+        let again = s.prepare(JOIN_SQL).unwrap();
+        assert_eq!(s.plan_cache().hits(), 1);
+        let (out2, _) = s.execute(&again).unwrap();
+        assert!(out2.relation.same_bag_approx(&oneshot.relation, 1e-9));
+        assert_eq!(s.stats().queries, 2);
+    }
+
+    #[test]
+    fn session_self_tunes_from_a_static_strategy() {
+        let (tag, config) = session(6);
+        let mut s = Session::open(&tag, config).unwrap();
+        assert!(s.placement_profile().is_empty());
+        let single =
+            TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(JOIN_SQL).unwrap();
+        let mut saw_migration = false;
+        for _ in 0..4 {
+            let (out, net) = s.run_sql(JOIN_SQL).unwrap();
+            // Adaptation never changes results or total message counts.
+            assert!(out.relation.same_bag_approx(&single.relation, 1e-9));
+            assert_eq!(out.stats.total_messages(), single.stats.total_messages());
+            saw_migration |= net.migration_bytes > 0;
+            assert!(net.migration_bytes <= net.network_bytes);
+        }
+        // The empty placement profile drifts maximally against real traffic,
+        // so the first executions must have started (and charged) an
+        // adaptation.
+        assert!(saw_migration, "self-tuning migration never happened");
+        assert!(s.stats().adaptations >= 1);
+        assert!(s.stats().migrated_vertices > 0);
+        assert_eq!(s.stats().net.migration_bytes, s.stats().migration_bytes);
+        // Once the placement profile matches the observed traffic, drift is
+        // tiny and the session goes quiet: the same workload does not keep
+        // migrating forever.
+        let before = s.stats().migrated_vertices;
+        let (_, net) = s.run_sql(JOIN_SQL).unwrap();
+        assert_eq!(net.migration_bytes, 0, "steady workload must not thrash");
+        assert_eq!(s.stats().migrated_vertices, before);
+    }
+
+    #[test]
+    fn migration_budget_bounds_each_step() {
+        let (tag, mut config) = session(4);
+        config.migration_budget = 7;
+        let mut s = Session::open(&tag, config).unwrap();
+        for _ in 0..3 {
+            let (_, net) = s.run_sql(JOIN_SQL).unwrap();
+            assert!(
+                net.migration_messages <= 7,
+                "step migrated {} vertices over budget 7",
+                net.migration_messages
+            );
+        }
+        assert!(s.migration_pending(), "tiny budget cannot finish in three steps");
+    }
+
+    #[test]
+    fn placement_hints_take_precedence_and_stay_per_query() {
+        let (tag, config) = session(6);
+        let mut s = Session::open(&tag, config).unwrap();
+        // A hint profile that pulls lineitem toward part.
+        let mut hint = TrafficProfile::new();
+        hint.record(
+            "lineitem.l_partkey",
+            vcsql_bsp::LabelTraffic { messages: 1000, bytes: 100_000, ..Default::default() },
+        );
+        hint.record(
+            "part.p_partkey",
+            vcsql_bsp::LabelTraffic { messages: 1000, bytes: 100_000, ..Default::default() },
+        );
+        let q17 = "SELECT p.p_name FROM part p, lineitem l WHERE p.p_partkey = l.l_partkey";
+        let unhinted = s.prepare(q17).unwrap();
+        let hinted = s.prepare(q17).unwrap().with_placement_hint(hint);
+        let session_placement = s.partitioning().unwrap().clone();
+        let (out_h, net_h) = s.execute(&hinted).unwrap();
+        // The hint did not touch the session's placement, and no migration
+        // was charged to the hinted run.
+        assert_eq!(net_h.migration_bytes, 0);
+        let placement_after = s.partitioning().unwrap();
+        for v in tag.graph().vertices() {
+            assert_eq!(session_placement.machine_of(v), placement_after.machine_of(v));
+        }
+        let (out_u, _) = s.execute(&unhinted).unwrap();
+        assert!(out_h.relation.same_bag_approx(&out_u.relation, 1e-9));
+        assert_eq!(out_h.stats.total_messages(), out_u.stats.total_messages());
+    }
+
+    /// A prepared statement's cached hint placement is keyed on the machine
+    /// count: executing the same PreparedQuery on a session with a
+    /// different cluster size rebuilds the placement instead of silently
+    /// accounting against machines that don't exist.
+    #[test]
+    fn hint_placement_rebuilds_for_a_different_machine_count() {
+        let (tag, config) = session(6);
+        let mut hint = TrafficProfile::new();
+        hint.record(
+            "lineitem.l_partkey",
+            vcsql_bsp::LabelTraffic { messages: 10, bytes: 1000, ..Default::default() },
+        );
+        let q = "SELECT p.p_name FROM part p, lineitem l WHERE p.p_partkey = l.l_partkey";
+        let mut six = Session::open(&tag, config.clone()).unwrap();
+        let hinted = six.prepare(q).unwrap().with_placement_hint(hint.clone());
+        let (_, net6) = six.execute(&hinted).unwrap();
+
+        // Same PreparedQuery value, executed on a 2-machine session: must
+        // behave exactly like a hint prepared fresh on that session.
+        let mut two = Session::open(&tag, SessionConfig { machines: 2, ..config }).unwrap();
+        let (_, net_stale) = two.execute(&hinted).unwrap();
+        let fresh = two.prepare(q).unwrap().with_placement_hint(hint);
+        let (_, net_fresh) = two.execute(&fresh).unwrap();
+        assert_eq!(
+            net_stale.network_bytes, net_fresh.network_bytes,
+            "stale 6-machine hint placement leaked into the 2-machine session"
+        );
+        assert_ne!(net6.network_bytes, 0, "6-machine hinted run should have used the network");
+    }
+}

@@ -6,36 +6,50 @@
 //! workload-aware placement that re-weights them with per-edge-label
 //! traffic observed during a hash-placed calibration run.
 //!
+//! Everything runs through the session API: one [`Cluster`] describes the
+//! simulated machines, each strategy gets a [`Session`] (static placement
+//! here, so strategies stay comparable; see the `repro distributed
+//! --sessions` drift replay for the online-repartitioning loop), and every
+//! query is prepared once and served from the session's plan cache.
+//!
 //! Run with: `cargo run --release --example distributed_cluster`
 
-use vcsql::bsp::{EngineConfig, PartitionStrategy};
-use vcsql::dist::{tag_calibrate, tag_distributed_under, tag_partitioning, SparkModel};
-use vcsql::query::{analyze::analyze, parse};
+use vcsql::bsp::PartitionStrategy;
+use vcsql::dist::SparkModel;
 use vcsql::tag::TagGraph;
 use vcsql::workload::tpch;
+use vcsql::Cluster;
 
 fn main() {
     let db = tpch::generate(0.05, 42);
     let tag = TagGraph::build(&db);
     let spark = SparkModel { machines: 6, broadcast_threshold: 0 };
+    let cluster = Cluster::new(6).static_placement();
 
-    let queries: Vec<_> = tpch::queries()
-        .iter()
-        .map(|q| (q.id, analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap()))
-        .collect();
+    let queries: Vec<_> = tpch::queries().iter().map(|q| (q.id, q.sql)).collect();
 
     // Phase 1 of the workload strategy: a hash-placed calibration run
     // observes how much traffic each edge label (`R.A` column) carries.
-    let analyzed: Vec<_> = queries.iter().map(|(_, a)| a.clone()).collect();
-    let profile = tag_calibrate(&tag, &analyzed, 6, EngineConfig::default()).unwrap();
+    let analyzed: Vec<_> = queries
+        .iter()
+        .map(|(_, sql)| {
+            vcsql::query::analyze::analyze(&vcsql::query::parse(sql).unwrap(), tag.schemas())
+                .unwrap()
+        })
+        .collect();
+    let profile = cluster.calibrate(&tag, &analyzed).unwrap();
     println!("calibrated traffic profile: {} edge labels (text form feeds later runs)\n", {
         profile.len()
     });
 
-    // Build each partitioning once; reuse it for the whole workload.
+    // One session per strategy; each builds its placement once and reuses it
+    // (and its cached plans) for the whole workload.
     let mut strategies = PartitionStrategy::ALL.to_vec();
     strategies.push(PartitionStrategy::Workload(profile));
-    let parts: Vec<_> = strategies.iter().map(|s| (s, tag_partitioning(&tag, 6, s))).collect();
+    let mut sessions: Vec<_> = strategies
+        .iter()
+        .map(|s| cluster.clone().strategy(s.clone()).session(&tag).unwrap())
+        .collect();
 
     println!(
         "{:<6} {:>12} {:>14} {:>13} {:>14} {:>11}",
@@ -43,11 +57,10 @@ fn main() {
     );
     let mut tag_totals = [0u64; 4];
     let mut spark_total = 0u64;
-    for (id, a) in &queries {
+    for ((id, sql), a) in queries.iter().zip(&analyzed) {
         let mut nets = Vec::new();
-        for (i, (_, p)) in parts.iter().enumerate() {
-            let (_, net) =
-                tag_distributed_under(&tag, a, p.clone(), EngineConfig::default()).unwrap();
+        for (i, session) in sessions.iter_mut().enumerate() {
+            let (_, net) = session.run_sql(sql).unwrap();
             tag_totals[i] += net.network_bytes;
             nets.push(net.network_bytes);
         }
@@ -60,8 +73,8 @@ fn main() {
     }
 
     println!("\nspark ships, relative to TAG-join under each placement strategy:");
-    for (i, (s, p)) in parts.iter().enumerate() {
-        let d = p.diagnostics(tag.graph());
+    for (i, (s, session)) in strategies.iter().zip(&sessions).enumerate() {
+        let d = session.partitioning().unwrap().diagnostics(tag.graph());
         println!(
             "  {:>8}: {:>4.1}x more data | TAG edge cut {:4.1}% | load imbalance {:.2}",
             s.name(),
@@ -70,6 +83,12 @@ fn main() {
             d.load_imbalance,
         );
     }
+    let cache = sessions[0].plan_cache();
+    println!(
+        "\n(each session planned its {} statements once and serves repeats from the plan \
+         cache — the one-shot API re-planned every call)",
+        cache.misses(),
+    );
     println!(
         "\n(the paper reports 9x on a real 6-machine cluster; the hash baseline \
          reproduces ~1.9x, locality-aware placement recovers most of the rest, \

@@ -4,10 +4,9 @@
 //!
 //! Run with: `cargo run --release --example incremental_maintenance`
 
-use vcsql::bsp::EngineConfig;
-use vcsql::core::TagJoinExecutor;
 use vcsql::tag::{MaterializePolicy, TagBuilder};
 use vcsql::workload::tpch;
+use vcsql::{Session, SessionConfig};
 
 fn main() {
     let db = tpch::generate(0.01, 42);
@@ -39,9 +38,9 @@ fn main() {
         stats.tuple_vertices, stats.attr_vertices
     );
 
-    // The graph still answers queries.
-    let exec = TagJoinExecutor::new(&tag, EngineConfig::default());
-    let out = exec.run_sql("SELECT COUNT(*) AS orders FROM orders o").expect("count runs");
+    // The graph still answers queries through a session.
+    let mut session = Session::open(&tag, SessionConfig::default()).expect("session opens");
+    let (out, _) = session.run_sql("SELECT COUNT(*) AS orders FROM orders o").expect("count runs");
     println!("orders remaining: {}", out.relation.tuples[0]);
 
     // Round-trip: the decoded database matches the graph's contents.

@@ -1,13 +1,13 @@
-//! Quickstart: build a tiny database, encode it as a TAG graph, and run SQL
-//! on the vertex-centric executor.
+//! Quickstart: build a tiny database, encode it as a TAG graph, open a
+//! session, and run SQL on the vertex-centric executor — prepared once,
+//! executed as often as you like.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use vcsql::bsp::EngineConfig;
-use vcsql::core::TagJoinExecutor;
 use vcsql::relation::schema::{Column, Schema};
 use vcsql::relation::{DataType, Database, Relation, Tuple, Value};
 use vcsql::tag::TagGraph;
+use vcsql::{Session, SessionConfig};
 
 fn main() {
     // 1. A relational database: nations and the customers living in them.
@@ -49,17 +49,19 @@ fn main() {
         stats.edges / 2
     );
 
-    // 3. Run SQL as a vertex-centric BSP program.
-    let exec = TagJoinExecutor::new(&tag, EngineConfig::default());
-    let out = exec
-        .run_sql(
-            "SELECT n.n_name, COUNT(*) AS customers, SUM(c.c_acctbal) AS balance \
-             FROM nation n, customer c \
-             WHERE n.n_nationkey = c.c_nationkey AND c.c_acctbal > 0 \
-             GROUP BY n.n_name",
-        )
-        .expect("query runs");
+    // 3. Open a session: the long-lived query entry point. Preparing a
+    //    statement runs parse → analyze → GYO → TAG plan once and caches the
+    //    plan (keyed by SQL) behind a bounded LRU cache.
+    let mut session = Session::open(&tag, SessionConfig::default()).expect("session opens");
+    let sql = "SELECT n.n_name, COUNT(*) AS customers, SUM(c.c_acctbal) AS balance \
+               FROM nation n, customer c \
+               WHERE n.n_nationkey = c.c_nationkey AND c.c_acctbal > 0 \
+               GROUP BY n.n_name";
+    let prepared = session.prepare(sql).expect("statement prepares");
 
+    // 4. Execute the prepared statement as a vertex-centric BSP program —
+    //    any number of times, planning paid once.
+    let (out, _net) = session.execute(&prepared).expect("query runs");
     println!("\nresult ({} rows):", out.relation.len());
     for t in &out.relation.tuples {
         println!("  {t}");
@@ -69,5 +71,18 @@ fn main() {
         out.stats.supersteps,
         out.stats.total_messages(),
         out.stats.total_bytes()
+    );
+
+    // Re-preparing the same SQL is a cache hit; `run_sql` is the one-line
+    // prepare-and-execute convenience for ad-hoc statements.
+    let again = session.prepare(sql).expect("cached");
+    session.execute(&again).expect("query runs again");
+    let cache = session.plan_cache();
+    println!(
+        "\nplan cache: {} plan(s), {} hit(s), {} miss(es) over {} queries",
+        cache.len(),
+        cache.hits(),
+        cache.misses(),
+        session.stats().queries
     );
 }

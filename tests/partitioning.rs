@@ -7,14 +7,18 @@
 //! than the static `refined` placement. Algorithm-B Cartesian shipping must
 //! be attributed to machines (nonzero network bytes on multi-component
 //! queries) without inflating round counts.
+//!
+//! All distributed runs go through the session API (`Cluster` → `Session`
+//! with static placement), exercising the same path `repro distributed`
+//! measures.
 
 use vcsql::bsp::{EngineConfig, PartitionStrategy};
 use vcsql::core::TagJoinExecutor;
-use vcsql::dist::{tag_calibrate, tag_distributed_under, tag_partitioning};
 use vcsql::query::analyze::Analyzed;
 use vcsql::query::{analyze::analyze, parse};
 use vcsql::tag::TagGraph;
 use vcsql::workload::tpch;
+use vcsql::Cluster;
 
 const THREE_WAY_JOIN: &str = "SELECT c.c_name FROM customer c, orders o, lineitem l \
                               WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey";
@@ -25,11 +29,17 @@ const THREE_WAY_JOIN: &str = "SELECT c.c_name FROM customer c, orders o, lineite
 const CROSS_COMPONENT: &str = "SELECT s.s_name, n.n_name FROM supplier s, nation n \
                                WHERE s.s_acctbal > 5000";
 
-fn tpch_analyzed(tag: &TagGraph) -> Vec<(&'static str, Analyzed)> {
+fn tpch_analyzed(tag: &TagGraph) -> Vec<(&'static str, &'static str, Analyzed)> {
     tpch::queries()
         .iter()
-        .map(|q| (q.id, analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap()))
+        .map(|q| (q.id, q.sql, analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap()))
         .collect()
+}
+
+/// A static-placement cluster over `machines` machines (adaptation off, so
+/// strategies stay comparable across the whole workload).
+fn cluster(machines: usize, threads: usize) -> Cluster {
+    Cluster::new(machines).engine(EngineConfig::with_threads(threads)).static_placement()
 }
 
 /// Every strategy — including `Workload` profiled on this same workload —
@@ -41,20 +51,24 @@ fn all_strategies_preserve_results_on_the_tpch_workload() {
     let db = tpch::generate(0.01, 42);
     let tag = TagGraph::build(&db);
     let queries = tpch_analyzed(&tag);
-    let analyzed: Vec<Analyzed> = queries.iter().map(|(_, a)| a.clone()).collect();
-    let profile = tag_calibrate(&tag, &analyzed, 6, EngineConfig::with_threads(2)).unwrap();
+    let analyzed: Vec<Analyzed> = queries.iter().map(|(_, _, a)| a.clone()).collect();
+    let cluster = cluster(6, 2);
+    let profile = cluster.calibrate(&tag, &analyzed).unwrap();
     let mut strategies = PartitionStrategy::ALL.to_vec();
     strategies.push(PartitionStrategy::Workload(profile));
-    let parts: Vec<_> =
-        strategies.iter().map(|s| (s.name(), tag_partitioning(&tag, 6, s))).collect();
-    for (id, a) in &queries {
+    let mut sessions: Vec<_> = strategies
+        .iter()
+        .map(|s| (s.name(), cluster.clone().strategy(s.clone()).session(&tag).unwrap()))
+        .collect();
+    for (id, sql, a) in &queries {
         let single = TagJoinExecutor::new(&tag, EngineConfig::with_threads(2))
             .execute(a)
             .unwrap_or_else(|e| panic!("{id}: single-machine: {e}"));
-        for (name, p) in &parts {
+        for (name, session) in &mut sessions {
+            let prepared =
+                session.prepare(sql).unwrap_or_else(|e| panic!("{id}/{name}: prepare: {e}"));
             let (out, net) =
-                tag_distributed_under(&tag, a, p.clone(), EngineConfig::with_threads(2))
-                    .unwrap_or_else(|e| panic!("{id}/{name}: {e}"));
+                session.execute(&prepared).unwrap_or_else(|e| panic!("{id}/{name}: {e}"));
             assert!(
                 out.relation.same_bag_approx(&single.relation, 1e-9),
                 "{id}/{name}: partitioning changed the result bag"
@@ -79,10 +93,9 @@ fn all_strategies_preserve_results_on_the_tpch_workload() {
 fn locality_strategies_never_ship_more_than_hash_on_three_way_join() {
     let db = tpch::generate(0.02, 42);
     let tag = TagGraph::build(&db);
-    let a = analyze(&parse(THREE_WAY_JOIN).unwrap(), tag.schemas()).unwrap();
     let net_for = |s: &PartitionStrategy| {
-        let p = tag_partitioning(&tag, 6, s);
-        let (_, net) = tag_distributed_under(&tag, &a, p, EngineConfig::sequential()).unwrap();
+        let mut session = cluster(6, 1).strategy(s.clone()).session(&tag).unwrap();
+        let (_, net) = session.run_sql(THREE_WAY_JOIN).unwrap();
         net.network_bytes
     };
     let hash = net_for(&PartitionStrategy::Hash);
@@ -105,11 +118,10 @@ fn locality_strategies_never_ship_more_than_hash_on_three_way_join() {
 fn locality_ordering_holds_on_a_second_seed_and_machine_count() {
     let db = tpch::generate(0.015, 7);
     let tag = TagGraph::build(&db);
-    let a = analyze(&parse(THREE_WAY_JOIN).unwrap(), tag.schemas()).unwrap();
     for machines in [3usize, 8] {
         let net_for = |s: &PartitionStrategy| {
-            let p = tag_partitioning(&tag, machines, s);
-            let (_, net) = tag_distributed_under(&tag, &a, p, EngineConfig::sequential()).unwrap();
+            let mut session = cluster(machines, 1).strategy(s.clone()).session(&tag).unwrap();
+            let (_, net) = session.run_sql(THREE_WAY_JOIN).unwrap();
             net.network_bytes
         };
         let hash = net_for(&PartitionStrategy::Hash);
@@ -126,22 +138,22 @@ fn workload_profiled_on_itself_ships_no_more_than_refined() {
     let db = tpch::generate(0.01, 42);
     let tag = TagGraph::build(&db);
     let queries = tpch_analyzed(&tag);
-    let analyzed: Vec<Analyzed> = queries.iter().map(|(_, a)| a.clone()).collect();
-    let profile = tag_calibrate(&tag, &analyzed, 6, EngineConfig::with_threads(2)).unwrap();
-    let total_for = |s: &PartitionStrategy| {
-        let p = tag_partitioning(&tag, 6, s);
+    let analyzed: Vec<Analyzed> = queries.iter().map(|(_, _, a)| a.clone()).collect();
+    let cluster = cluster(6, 2);
+    let total_for = |session: &mut vcsql::Session| {
         queries
             .iter()
-            .map(|(_, a)| {
-                let (_, net) =
-                    tag_distributed_under(&tag, a, p.clone(), EngineConfig::with_threads(2))
-                        .unwrap();
+            .map(|(_, sql, _)| {
+                let (_, net) = session.run_sql(sql).unwrap();
                 net.network_bytes
             })
             .sum::<u64>()
     };
-    let refined = total_for(&PartitionStrategy::Refined);
-    let workload = total_for(&PartitionStrategy::Workload(profile));
+    let mut refined_session =
+        cluster.clone().strategy(PartitionStrategy::Refined).session(&tag).unwrap();
+    let refined = total_for(&mut refined_session);
+    let mut workload_session = cluster.calibrated_session(&tag, &analyzed).unwrap();
+    let workload = total_for(&mut workload_session);
     assert!(workload > 0, "a 6-machine workload run must use the network");
     assert!(
         workload <= refined,
@@ -157,12 +169,12 @@ fn workload_profiled_on_itself_ships_no_more_than_refined() {
 fn cartesian_shipping_is_charged_to_the_network() {
     let db = tpch::generate(0.01, 42);
     let tag = TagGraph::build(&db);
-    let a = analyze(&parse(CROSS_COMPONENT).unwrap(), tag.schemas()).unwrap();
-    let single = TagJoinExecutor::new(&tag, EngineConfig::sequential()).execute(&a).unwrap();
+    let single =
+        TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(CROSS_COMPONENT).unwrap();
     assert!(!single.relation.is_empty(), "cross product should produce rows");
 
-    let p = tag_partitioning(&tag, 6, &PartitionStrategy::Hash);
-    let (out, net) = tag_distributed_under(&tag, &a, p, EngineConfig::sequential()).unwrap();
+    let mut session = cluster(6, 1).strategy(PartitionStrategy::Hash).session(&tag).unwrap();
+    let (out, net) = session.run_sql(CROSS_COMPONENT).unwrap();
     assert!(out.relation.same_bag_approx(&single.relation, 1e-9));
     assert_eq!(out.stats.total_messages(), single.stats.total_messages());
     // The headline: shipped secondary tables are no longer free local
