@@ -3,7 +3,8 @@
 //! Usage: `cargo run --release -p vcsql-bench --bin repro -- <mode>
 //!         [--sf a,b,c] [--partitioning hash,colocate,refined,workload]
 //!         [--profile-from tpch|tpcds] [--bandwidth bytes_per_sec]
-//!         [--sessions n] [--migration-budget n]`
+//!         [--sessions n] [--migration-budget n] [--threads n]
+//!         [--json path]`
 //!
 //! Modes (see DESIGN.md experiment index):
 //!   loading         Tables 1-2: data loading times
@@ -21,10 +22,13 @@
 //!   cost-model      §4.1.2 ablation: two-way join messages vs bounds
 //!   triangle-theta  §6.1.2 ablation: heavy/light θ sweep
 //!   reshuffle       §5.2.2 ablation: reshuffle bytes vs join-chain length
-//!   all             everything above
+//!   bench           perf trajectory: row baseline vs TAG, single- vs
+//!                   multi-thread, per query; --json writes machine-readable
+//!                   timings (the committed BENCH_*.json files)
+//!   all             everything above (except bench)
 
 use std::collections::BTreeMap;
-use vcsql_bench::{markdown_table, ms, prepare, run_system, speedup, time, Loaded, System};
+use vcsql_bench::{markdown_table, ms, prepare, run_system_with, speedup, time, Loaded, System};
 use vcsql_bsp::{EngineConfig, PartitionStrategy, TrafficProfile};
 use vcsql_core::cyclic;
 use vcsql_core::twoway::{two_way_join, TwoWaySpec};
@@ -40,11 +44,12 @@ use vcsql_workload::{synthetic, tpcds, tpch, BenchQuery};
 const USAGE: &str = "\
 usage: repro <mode> [--sf a,b,c] [--partitioning hash,colocate,refined,workload]
              [--profile-from tpch|tpcds] [--bandwidth bytes_per_sec]
-             [--sessions n] [--migration-budget n]
+             [--sessions n] [--migration-budget n] [--threads n] [--json path]
 
 modes:
   loading sizes tpch tpcds tpch-classes tpcds-matrix tpcds-classes
-  agg-breakdown memory distributed cost-model triangle-theta reshuffle all
+  agg-breakdown memory distributed cost-model triangle-theta reshuffle
+  bench all
 
 flags:
   --sf a,b,c             comma-separated positive scale factors
@@ -70,7 +75,14 @@ flags:
                          bytes are itemized per query)
   --migration-budget n   most vertices the session migrates per query while
                          adapting (default 2048; must be positive; requires
-                         --sessions)";
+                         --sessions)
+  --threads n            engine worker threads for the TAG side of the
+                         per-query runtime modes (tpch, tpcds, tpch-classes,
+                         tpcds-matrix, tpcds-classes, agg-breakdown, bench,
+                         all); for `bench` this is the multi-thread arm
+                         (default: the machine's parallelism, capped at 16)
+  --json path            `bench` only: also write the per-query timings as
+                         machine-readable JSON to `path`";
 
 /// Print an argument error plus the usage text and exit with status 2.
 fn usage_error(msg: &str) -> ! {
@@ -138,6 +150,8 @@ fn main() {
     let mut bandwidth = 1e9;
     let mut sessions: Option<usize> = None;
     let mut migration_budget: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut json_path: Option<String> = None;
     let mut distributed_flag: Option<&'static str> = None;
     let mut partitioning_explicit = false;
     let mut i = 0;
@@ -187,6 +201,16 @@ fn main() {
                 migration_budget = Some(parse_positive(raw, "--migration-budget"));
                 i += 2;
             }
+            "--threads" => {
+                let raw = args.get(i + 1).unwrap_or_else(|| usage_error("--threads needs a value"));
+                threads = Some(parse_positive(raw, "--threads"));
+                i += 2;
+            }
+            "--json" => {
+                let raw = args.get(i + 1).unwrap_or_else(|| usage_error("--json needs a path"));
+                json_path = Some(raw.clone());
+                i += 2;
+            }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag `{flag}`")),
             m => {
                 if mode.is_some() {
@@ -232,16 +256,38 @@ fn main() {
     if migration_budget.is_some() && sessions.is_none() {
         usage_error("--migration-budget requires --sessions");
     }
+    // --threads steers the local TAG engine; reject it for modes that never
+    // run one (same no-silent-ignore policy as the distributed flags).
+    const THREADED_MODES: [&str; 8] = [
+        "tpch",
+        "tpcds",
+        "tpch-classes",
+        "tpcds-matrix",
+        "tpcds-classes",
+        "agg-breakdown",
+        "bench",
+        "all",
+    ];
+    if threads.is_some() && !THREADED_MODES.contains(&mode.as_str()) {
+        usage_error(&format!(
+            "--threads only applies to the per-query runtime modes ({})",
+            THREADED_MODES.join(", ")
+        ));
+    }
+    if json_path.is_some() && mode != "bench" {
+        usage_error("--json only applies to the `bench` mode");
+    }
+    let engine = threads.map(EngineConfig::with_threads).unwrap_or_default();
 
     match mode.as_str() {
         "loading" => loading(&sfs),
         "sizes" => sizes(&sfs),
-        "tpch" => runtimes("TPC-H", &sfs, tpch::generate, &tpch::queries()),
-        "tpcds" => runtimes("TPC-DS", &sfs, tpcds::generate, &tpcds::queries()),
-        "tpch-classes" => tpch_classes(last_sf),
-        "tpcds-matrix" => tpcds_matrix(last_sf),
-        "tpcds-classes" => tpcds_classes(last_sf),
-        "agg-breakdown" => agg_breakdown(last_sf),
+        "tpch" => runtimes("TPC-H", &sfs, tpch::generate, &tpch::queries(), engine),
+        "tpcds" => runtimes("TPC-DS", &sfs, tpcds::generate, &tpcds::queries(), engine),
+        "tpch-classes" => tpch_classes(last_sf, engine),
+        "tpcds-matrix" => tpcds_matrix(last_sf, engine),
+        "tpcds-classes" => tpcds_classes(last_sf, engine),
+        "agg-breakdown" => agg_breakdown(last_sf, engine),
         "memory" => memory(last_sf),
         "distributed" => match sessions {
             Some(n) => sessions_replay(last_sf, n, migration_budget.unwrap_or(2048), bandwidth),
@@ -250,15 +296,16 @@ fn main() {
         "cost-model" => cost_model(),
         "triangle-theta" => triangle_theta(),
         "reshuffle" => reshuffle(last_sf),
+        "bench" => bench_trajectory(last_sf, threads, json_path.as_deref()),
         "all" => {
             loading(&sfs);
             sizes(&sfs);
-            runtimes("TPC-H", &sfs, tpch::generate, &tpch::queries());
-            runtimes("TPC-DS", &sfs, tpcds::generate, &tpcds::queries());
-            tpch_classes(last_sf);
-            tpcds_matrix(last_sf);
-            tpcds_classes(last_sf);
-            agg_breakdown(last_sf);
+            runtimes("TPC-H", &sfs, tpch::generate, &tpch::queries(), engine);
+            runtimes("TPC-DS", &sfs, tpcds::generate, &tpcds::queries(), engine);
+            tpch_classes(last_sf, engine);
+            tpcds_matrix(last_sf, engine);
+            tpcds_classes(last_sf, engine);
+            agg_breakdown(last_sf, engine);
             memory(last_sf);
             distributed(last_sf, &strategies, profile_from.as_deref(), bandwidth);
             cost_model();
@@ -364,7 +411,13 @@ fn sizes(sfs: &[f64]) {
 }
 
 /// E3/E4/E5/E6/E14 — per-query and aggregate runtimes across systems.
-fn runtimes(name: &str, sfs: &[f64], genf: fn(f64, u64) -> Database, queries: &[BenchQuery]) {
+fn runtimes(
+    name: &str,
+    sfs: &[f64],
+    genf: fn(f64, u64) -> Database,
+    queries: &[BenchQuery],
+    engine: EngineConfig,
+) {
     println!("\n## {name} runtimes (paper Fig 13, Tables 8-14), ms\n");
     for &sf in sfs {
         let loaded = Loaded::new(genf(sf, SEED));
@@ -374,7 +427,7 @@ fn runtimes(name: &str, sfs: &[f64], genf: fn(f64, u64) -> Database, queries: &[
             let a = prepare(&loaded, q.sql).expect("workload query analyzes");
             let mut row = vec![q.id.to_string()];
             for sys in System::ALL {
-                let (_, secs) = run_system(&loaded, sys, &a).expect("query runs");
+                let (_, secs) = run_system_with(&loaded, sys, &a, engine).expect("query runs");
                 *totals.entry(sys.name()).or_insert(0.0) += secs;
                 row.push(ms(secs));
             }
@@ -392,7 +445,7 @@ fn runtimes(name: &str, sfs: &[f64], genf: fn(f64, u64) -> Database, queries: &[
 }
 
 /// E7/E8 — Tables 3-4: TPC-H class drill-down.
-fn tpch_classes(sf: f64) {
+fn tpch_classes(sf: f64, engine: EngineConfig) {
     println!("\n## E7/E8 — TPC-H drill-down (paper Tables 3-4)\n");
     let loaded = Loaded::new(tpch::generate(sf, SEED));
     let mut la_rows = Vec::new();
@@ -401,7 +454,7 @@ fn tpch_classes(sf: f64) {
         let a = prepare(&loaded, q.sql).expect("analyzes");
         let mut secs = BTreeMap::new();
         for sys in System::ALL {
-            let (_, s) = run_system(&loaded, sys, &a).expect("runs");
+            let (_, s) = run_system_with(&loaded, sys, &a, engine).expect("runs");
             secs.insert(sys.name(), s);
         }
         let tag = secs["tag_join"];
@@ -446,16 +499,16 @@ fn tpch_classes(sf: f64) {
 }
 
 /// E9 — Table 5: win/competitive/lose counts.
-fn tpcds_matrix(sf: f64) {
+fn tpcds_matrix(sf: f64, engine: EngineConfig) {
     println!("\n## E9 — TPC-DS outcome matrix (paper Table 5)\n");
     let loaded = Loaded::new(tpcds::generate(sf, SEED));
     let queries = tpcds::queries();
     let mut counts: BTreeMap<&str, (u32, u32, u32)> = BTreeMap::new();
     for q in &queries {
         let a = prepare(&loaded, q.sql).expect("analyzes");
-        let (_, tag) = run_system(&loaded, System::TagJoin, &a).expect("runs");
+        let (_, tag) = run_system_with(&loaded, System::TagJoin, &a, engine).expect("runs");
         for sys in [System::RowHash, System::RowSortMerge, System::Columnar] {
-            let (_, other) = run_system(&loaded, sys, &a).expect("runs");
+            let (_, other) = run_system_with(&loaded, sys, &a, engine).expect("runs");
             let e = counts.entry(sys.name()).or_insert((0, 0, 0));
             if other > tag * 1.2 {
                 e.0 += 1; // outperforms
@@ -481,7 +534,7 @@ fn tpcds_matrix(sf: f64) {
 }
 
 /// E10 — Table 6: per-class TPC-DS speedups.
-fn tpcds_classes(sf: f64) {
+fn tpcds_classes(sf: f64, engine: EngineConfig) {
     println!("\n## E10 — TPC-DS per-class speedups (paper Table 6)\n");
     let loaded = Loaded::new(tpcds::generate(sf, SEED));
     let mut rows = Vec::new();
@@ -489,7 +542,7 @@ fn tpcds_classes(sf: f64) {
         let a = prepare(&loaded, q.sql).expect("analyzes");
         let mut secs = BTreeMap::new();
         for sys in System::ALL {
-            let (_, s) = run_system(&loaded, sys, &a).expect("runs");
+            let (_, s) = run_system_with(&loaded, sys, &a, engine).expect("runs");
             secs.insert(sys.name(), s);
         }
         let tag = secs["tag_join"];
@@ -513,14 +566,14 @@ fn tpcds_classes(sf: f64) {
 }
 
 /// E11 — Fig 15: aggregate runtime by aggregation class.
-fn agg_breakdown(sf: f64) {
+fn agg_breakdown(sf: f64, engine: EngineConfig) {
     println!("\n## E11 — TPC-DS aggregate runtime by aggregation class (paper Fig 15), ms\n");
     let loaded = Loaded::new(tpcds::generate(sf, SEED));
     let mut per_class: BTreeMap<String, BTreeMap<&str, f64>> = BTreeMap::new();
     for q in tpcds::queries() {
         let a = prepare(&loaded, q.sql).expect("analyzes");
         for sys in System::ALL {
-            let (_, s) = run_system(&loaded, sys, &a).expect("runs");
+            let (_, s) = run_system_with(&loaded, sys, &a, engine).expect("runs");
             *per_class
                 .entry(format!("{:?}", q.class))
                 .or_default()
@@ -973,4 +1026,156 @@ fn reshuffle(sf: f64) {
             &rows
         )
     );
+}
+
+/// One measured query of the perf trajectory: workload, query id, and
+/// min-of-reps wall seconds for the row baseline, 1-thread TAG and
+/// multi-thread TAG.
+struct TrajectoryEntry {
+    workload: &'static str,
+    id: String,
+    row_s: f64,
+    tag_1t_s: f64,
+    tag_mt_s: f64,
+}
+
+/// The tracked perf trajectory (the committed `BENCH_*.json` files):
+/// row-store baseline vs TAG, single- vs multi-thread, per query. Each arm
+/// reports the best of `REPS` runs, and every TAG result bag is checked
+/// against the row baseline — the bench doubles as an equivalence smoke
+/// across thread counts.
+fn bench_trajectory(sf: f64, threads: Option<usize>, json_path: Option<&str>) {
+    const REPS: usize = 3;
+    let multi = threads.unwrap_or_else(|| EngineConfig::default().threads);
+    println!("\n## Perf trajectory — row baseline vs TAG, 1 vs {multi} thread(s) @ SF {sf}\n");
+    let mut entries: Vec<TrajectoryEntry> = Vec::new();
+    for (workload, genf, queries) in [
+        ("tpch", tpch::generate as fn(f64, u64) -> Database, tpch::queries()),
+        ("tpcds", tpcds::generate, tpcds::queries()),
+    ] {
+        let loaded = Loaded::new(genf(sf, SEED));
+        for q in &queries {
+            let a = prepare(&loaded, q.sql).expect("workload query analyzes");
+            let min_of_reps = |system: System, engine: EngineConfig| {
+                let mut best = f64::INFINITY;
+                let mut out = None;
+                for _ in 0..REPS {
+                    let (rel, secs) =
+                        run_system_with(&loaded, system, &a, engine).expect("query runs");
+                    best = best.min(secs);
+                    out = Some(rel);
+                }
+                (out.expect("REPS > 0"), best)
+            };
+            let (row_rel, row_s) = min_of_reps(System::RowHash, EngineConfig::sequential());
+            let (t1_rel, tag_1t_s) = min_of_reps(System::TagJoin, EngineConfig::sequential());
+            let (tm_rel, tag_mt_s) =
+                min_of_reps(System::TagJoin, EngineConfig::with_threads(multi));
+            assert!(
+                t1_rel.same_bag_approx(&row_rel, 1e-9),
+                "{workload} {}: 1-thread TAG result diverged from the row baseline",
+                q.id
+            );
+            assert!(
+                tm_rel.same_bag_approx(&row_rel, 1e-9),
+                "{workload} {}: {multi}-thread TAG result diverged from the row baseline",
+                q.id
+            );
+            entries.push(TrajectoryEntry {
+                workload,
+                id: q.id.to_string(),
+                row_s,
+                tag_1t_s,
+                tag_mt_s,
+            });
+        }
+    }
+    for workload in ["tpch", "tpcds"] {
+        let rows: Vec<Vec<String>> = entries
+            .iter()
+            .filter(|e| e.workload == workload)
+            .map(|e| {
+                vec![
+                    e.id.clone(),
+                    ms(e.row_s),
+                    ms(e.tag_1t_s),
+                    ms(e.tag_mt_s),
+                    speedup(e.tag_mt_s, e.tag_1t_s),
+                ]
+            })
+            .collect();
+        println!("### {workload}\n");
+        println!(
+            "{}",
+            markdown_table(
+                &["query", "row_hash ms", "tag 1t ms", "tag mt ms", "parallel speedup"]
+                    .map(String::from),
+                &rows
+            )
+        );
+    }
+    if let Some(path) = json_path {
+        let json = trajectory_json(sf, multi, REPS, &entries);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}
+
+/// Serialize the trajectory as JSON by hand (the workspace is offline — no
+/// serde). Workload names and query ids are ASCII identifiers, so string
+/// escaping reduces to quoting.
+fn trajectory_json(sf: f64, multi: usize, reps: usize, entries: &[TrajectoryEntry]) -> String {
+    use std::fmt::Write as _;
+    let msf = |s: f64| format!("{:.4}", s * 1000.0);
+    let ratio = |num: f64, den: f64| format!("{:.3}", num / den.max(1e-12));
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"vcsql-bench-trajectory/v1\",");
+    let _ = writeln!(out, "  \"sf\": {sf},");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"threads_multi\": {multi},");
+    out.push_str("  \"queries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"id\": \"{}\", \"row_hash_ms\": {}, \
+             \"tag_1t_ms\": {}, \"tag_mt_ms\": {}, \"parallel_speedup\": {}, \
+             \"row_over_tag_mt\": {}}}{sep}",
+            e.workload,
+            e.id,
+            msf(e.row_s),
+            msf(e.tag_1t_s),
+            msf(e.tag_mt_s),
+            ratio(e.tag_1t_s, e.tag_mt_s),
+            ratio(e.row_s, e.tag_mt_s),
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"totals\": {\n");
+    let workloads = ["tpch", "tpcds"];
+    for (i, workload) in workloads.iter().enumerate() {
+        let (mut row, mut t1, mut tm) = (0.0, 0.0, 0.0);
+        for e in entries.iter().filter(|e| e.workload == *workload) {
+            row += e.row_s;
+            t1 += e.tag_1t_s;
+            tm += e.tag_mt_s;
+        }
+        let sep = if i + 1 == workloads.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"{workload}\": {{\"row_hash_ms\": {}, \"tag_1t_ms\": {}, \
+             \"tag_mt_ms\": {}, \"parallel_speedup\": {}}}{sep}",
+            msf(row),
+            msf(t1),
+            msf(tm),
+            ratio(t1, tm),
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
 }

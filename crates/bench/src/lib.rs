@@ -73,10 +73,24 @@ pub fn prepare(loaded: &Loaded, sql: &str) -> Result<Analyzed> {
 }
 
 /// Run one query on one system, returning the result and wall seconds.
+/// Uses the default engine configuration for the TAG side; see
+/// [`run_system_with`] for an explicit thread count.
 pub fn run_system(loaded: &Loaded, system: System, a: &Analyzed) -> Result<(Relation, f64)> {
+    run_system_with(loaded, system, a, EngineConfig::default())
+}
+
+/// [`run_system`] with an explicit engine configuration (thread-scaling
+/// runs). Only the TAG system is affected; the baselines are
+/// single-threaded by design.
+pub fn run_system_with(
+    loaded: &Loaded,
+    system: System,
+    a: &Analyzed,
+    engine: EngineConfig,
+) -> Result<(Relation, f64)> {
     match system {
         System::TagJoin => {
-            let exec = TagJoinExecutor::new(&loaded.tag, EngineConfig::default());
+            let exec = TagJoinExecutor::new(&loaded.tag, engine);
             let (out, secs) = time(|| exec.execute(a));
             Ok((out?.relation, secs))
         }

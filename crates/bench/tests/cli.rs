@@ -114,6 +114,51 @@ fn bad_sessions_and_migration_budget_are_usage_errors() {
 }
 
 #[test]
+fn bad_threads_and_json_are_usage_errors() {
+    // Thread counts must be positive integers, and both flags are rejected
+    // on modes that would silently ignore them.
+    assert_usage_exit(&["bench", "--threads", "0"], "bad --threads value `0`");
+    assert_usage_exit(&["bench", "--threads", "-2"], "bad --threads value `-2`");
+    assert_usage_exit(&["bench", "--threads", "lots"], "bad --threads value `lots`");
+    assert_usage_exit(&["bench", "--threads"], "--threads needs a value");
+    assert_usage_exit(&["bench", "--json"], "--json needs a path");
+    assert_usage_exit(
+        &["distributed", "--threads", "4"],
+        "--threads only applies to the per-query runtime modes",
+    );
+    assert_usage_exit(&["tpch", "--json", "out.json"], "--json only applies to the `bench` mode");
+}
+
+#[test]
+fn bench_smoke_emits_trajectory_json() {
+    // End-to-end: the bench mode must run both workloads, print the
+    // trajectory tables, and write well-formed JSON with the pinned schema
+    // tag. Tiny SF keeps this fast in debug builds.
+    let dir = std::env::temp_dir().join(format!("repro-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trajectory.json");
+    let out =
+        repro(&["bench", "--sf", "0.004", "--threads", "2", "--json", path.to_str().unwrap()]);
+    assert!(out.status.success(), "bench smoke failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Perf trajectory"), "{stdout}");
+    assert!(stdout.contains("### tpch"), "{stdout}");
+    assert!(stdout.contains("### tpcds"), "{stdout}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(json.contains("\"schema\": \"vcsql-bench-trajectory/v1\""), "{json}");
+    assert!(json.contains("\"threads_multi\": 2"), "{json}");
+    assert!(json.contains("\"workload\": \"tpch\""), "{json}");
+    assert!(json.contains("\"workload\": \"tpcds\""), "{json}");
+    assert!(json.contains("\"tag_mt_ms\""), "{json}");
+    // Balanced braces/brackets — the cheap well-formedness check available
+    // without a JSON parser in the tree.
+    let count = |c: char| json.matches(c).count();
+    assert_eq!(count('{'), count('}'), "unbalanced braces:\n{json}");
+    assert_eq!(count('['), count(']'), "unbalanced brackets:\n{json}");
+}
+
+#[test]
 fn sessions_drift_replay_smoke() {
     // A tiny replay end to end: calibrate on TPC-H, drift to TPC-DS, adapt.
     let out = repro(&[

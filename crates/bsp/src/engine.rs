@@ -21,6 +21,14 @@
 //! documents and encapsulates that invariant. Message delivery concatenates
 //! worker outboxes in worker order, which equals source-vertex order — so
 //! inbox contents are deterministic and independent of the thread count.
+//!
+//! Buffer reuse: outbox shard buffers are recycled through a pool on the
+//! [`Computation`] instead of being reallocated every superstep, delivery
+//! *moves* messages into inboxes (no per-message clone), and inbox `Vec`s
+//! live for the whole computation (cleared, not dropped, after compute) —
+//! so steady-state supersteps run allocation-free on the message path. The
+//! pool is refilled in shard-major, worker-minor order after each delivery,
+//! which keeps the whole cycle deterministic.
 
 use crate::graph::{Edge, Graph, VertexId};
 use crate::interner::LabelId;
@@ -143,9 +151,14 @@ pub struct Outbox<'p, M: Message> {
 }
 
 impl<'p, M: Message> Outbox<'p, M> {
-    fn new(shards: usize, partitioning: Option<&'p Partitioning>) -> Outbox<'p, M> {
+    /// Build over recycled (empty) shard buffers from the computation's pool.
+    fn new(
+        shards: Vec<Vec<(VertexId, M)>>,
+        partitioning: Option<&'p Partitioning>,
+    ) -> Outbox<'p, M> {
+        debug_assert!(shards.iter().all(Vec::is_empty), "pooled shard buffer not drained");
         Outbox {
-            shards: (0..shards).map(|_| Vec::new()).collect(),
+            shards,
             partitioning,
             messages: 0,
             bytes: 0,
@@ -212,8 +225,15 @@ pub struct Computation<'g, V, M: Message> {
     states: Vec<V>,
     inboxes: Vec<Vec<M>>,
     active: Vec<VertexId>,
+    /// True when `active` holds unsorted/duplicated host injections;
+    /// normalized lazily at the next superstep (keeps `inject` O(1)).
+    active_dirty: bool,
     stats: RunStats,
     partitioning: Option<Arc<Partitioning>>,
+    /// Recycled outbox shard buffers (always drained): each superstep takes
+    /// `workers x shards` buffers here and returns them after delivery, so
+    /// steady-state supersteps reuse capacity instead of reallocating.
+    shard_pool: Vec<Vec<(VertexId, M)>>,
 }
 
 impl<'g, V: Send, M: Message> Computation<'g, V, M> {
@@ -226,8 +246,10 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
             states: (0..n as VertexId).map(init).collect(),
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             active: Vec::new(),
+            active_dirty: false,
             stats: RunStats::default(),
             partitioning: None,
+            shard_pool: Vec::new(),
         }
     }
 
@@ -255,6 +277,7 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
         self.active = vertices.into_iter().collect();
         self.active.sort_unstable();
         self.active.dedup();
+        self.active_dirty = false;
     }
 
     /// Activate all vertices with the given vertex label.
@@ -263,16 +286,38 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
     }
 
     /// Inject a message into a vertex's inbox and activate it (host-side
-    /// seeding; not counted as engine communication).
+    /// seeding; not counted as engine communication). O(1): duplicates are
+    /// deduplicated and the list re-sorted lazily at the next superstep, so
+    /// seeding n vertices is O(n log n) total, not O(n²).
     pub fn inject(&mut self, target: VertexId, msg: M) {
         self.inboxes[target as usize].push(msg);
-        if !self.active.contains(&target) {
+        self.active.push(target);
+        self.active_dirty = true;
+    }
+
+    /// Batch [`Computation::inject`]: seed many `(target, message)` pairs
+    /// with a single sort + dedup of the active list.
+    pub fn inject_all(&mut self, msgs: impl IntoIterator<Item = (VertexId, M)>) {
+        for (target, msg) in msgs {
+            self.inboxes[target as usize].push(msg);
             self.active.push(target);
+        }
+        self.active_dirty = true;
+        self.normalize_active();
+    }
+
+    /// Sort + dedup the active list if host injections left it dirty.
+    fn normalize_active(&mut self) {
+        if self.active_dirty {
             self.active.sort_unstable();
+            self.active.dedup();
+            self.active_dirty = false;
         }
     }
 
-    /// Currently active vertices (sorted).
+    /// Currently active vertices (sorted and deduplicated, except between
+    /// consecutive [`Computation::inject`] calls — normalized again at the
+    /// next superstep or [`Computation::inject_all`]).
     pub fn active(&self) -> &[VertexId] {
         &self.active
     }
@@ -331,10 +376,21 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
         G: Aggregator,
         F: for<'x, 'y> Fn(&mut VertexCtx<'x, 'y, V, M>, &mut G) + Sync,
     {
+        self.normalize_active();
         let shards = self.config.threads;
         let active = std::mem::take(&mut self.active);
         let workers = self.config.threads.min(active.len()).max(1);
         let chunk = active.len().div_ceil(workers).max(1);
+
+        // Recycled shard buffers: hand each worker `shards` drained buffers
+        // from the pool (topped up with fresh ones on the first supersteps).
+        let mut pool = std::mem::take(&mut self.shard_pool);
+        let take_shard_set = |pool: &mut Vec<Vec<(VertexId, M)>>| {
+            let start = pool.len().saturating_sub(shards);
+            let mut set: Vec<Vec<(VertexId, M)>> = pool.drain(start..).collect();
+            set.resize_with(shards, Vec::new);
+            set
+        };
 
         let states = SharedMut(self.states.as_mut_ptr());
         let inboxes = SharedMut(self.inboxes.as_mut_ptr());
@@ -347,7 +403,7 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
             // Nothing to run, but the superstep is still recorded so the
             // count matches the driver's step sequence.
         } else if workers == 1 {
-            let mut out = Outbox::new(shards, partitioning);
+            let mut out = Outbox::new(take_shard_set(&mut pool), partitioning);
             let mut agg = G::default();
             for &v in &active {
                 // SAFETY: single worker — trivially disjoint.
@@ -364,13 +420,15 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
             let active_ref = &active;
             let states_ref = &states;
             let inboxes_ref = &inboxes;
+            let worker_bufs: Vec<Vec<Vec<(VertexId, M)>>> =
+                (0..workers).map(|_| take_shard_set(&mut pool)).collect();
             results = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
-                for w in 0..workers {
+                for (w, bufs) in worker_bufs.into_iter().enumerate() {
                     let lo = (w * chunk).min(active_ref.len());
                     let hi = ((w + 1) * chunk).min(active_ref.len());
                     handles.push(scope.spawn(move || {
-                        let mut out = Outbox::new(shards, partitioning);
+                        let mut out = Outbox::new(bufs, partitioning);
                         let mut agg = G::default();
                         for &v in &active_ref[lo..hi] {
                             // SAFETY: the active list is deduplicated and
@@ -418,34 +476,54 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
         // --- delivery phase ---------------------------------------------------
         // Shard `s` owns inboxes of vertices with `v % shards == s`; shards
         // run in parallel, and within a shard worker outboxes are drained in
-        // worker order, which preserves global source order.
+        // worker order, which preserves global source order. Messages are
+        // *moved* into inboxes (the outbox held the only copy), and drained
+        // shard buffers return to the pool — in shard-major, worker-minor
+        // order, independent of which delivery thread finished first.
         let mut newly_active: Vec<Vec<VertexId>> = Vec::new();
         if step.messages > 0 {
             let inboxes_ref = &inboxes;
-            let worker_shards_ref = &worker_shards;
-            newly_active = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(shards);
-                for s in 0..shards {
-                    handles.push(scope.spawn(move || {
-                        let mut woken = Vec::new();
-                        for per_worker in worker_shards_ref {
-                            for (v, m) in &per_worker[s] {
-                                // SAFETY: v % shards == s by construction of
-                                // Outbox::send, so only this shard's worker
-                                // touches inboxes[v].
-                                let inbox = unsafe { inboxes_ref.get(*v as usize) };
-                                if inbox.is_empty() {
-                                    woken.push(*v);
+            // Transpose to per-shard groups, preserving worker order within
+            // each group (the determinism invariant above).
+            let groups: Vec<Vec<Vec<(VertexId, M)>>> = (0..shards)
+                .map(|s| worker_shards.iter_mut().map(|ws| std::mem::take(&mut ws[s])).collect())
+                .collect();
+            let delivered: Vec<(Vec<VertexId>, Vec<Vec<(VertexId, M)>>)> =
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(shards);
+                    for mut group in groups {
+                        handles.push(scope.spawn(move || {
+                            let mut woken = Vec::new();
+                            for buf in &mut group {
+                                for (v, m) in buf.drain(..) {
+                                    // SAFETY: every message in this group
+                                    // targets v % shards == s by construction
+                                    // of Outbox::send, so only this shard's
+                                    // worker touches inboxes[v].
+                                    let inbox = unsafe { inboxes_ref.get(v as usize) };
+                                    if inbox.is_empty() {
+                                        woken.push(v);
+                                    }
+                                    inbox.push(m);
                                 }
-                                inbox.push(m.clone());
                             }
-                        }
-                        woken
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().expect("delivery panicked")).collect()
-            });
+                            (woken, group)
+                        }));
+                    }
+                    handles.into_iter().map(|h| h.join().expect("delivery panicked")).collect()
+                });
+            for (woken, group) in delivered {
+                newly_active.push(woken);
+                pool.extend(group);
+            }
+        } else {
+            // No messages this step: the shard buffers are already empty;
+            // recycle them (and their capacity) directly.
+            for mut ws in worker_shards {
+                pool.append(&mut ws);
+            }
         }
+        self.shard_pool = pool;
 
         let mut next: Vec<VertexId> = newly_active.into_iter().flatten().collect();
         next.sort_unstable();
@@ -623,6 +701,50 @@ mod tests {
         });
         assert_eq!(*comp.state(1), 42);
         assert_eq!(comp.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn inject_duplicates_normalize_before_compute() {
+        let g = line(4);
+        let mut comp: Computation<'_, u64, u64> =
+            Computation::new(&g, EngineConfig::with_threads(4), |_| 0);
+        // Repeated and unsorted injections: the active list must come out
+        // sorted and deduplicated (a duplicate would hand one vertex to two
+        // workers), with every message delivered once.
+        comp.inject(2, 30);
+        comp.inject(2, 12);
+        comp.inject_all([(0, 5), (1, 1), (1, 2)]);
+        assert_eq!(comp.active(), &[0, 1, 2]);
+        comp.superstep_simple(|ctx| {
+            *ctx.state = ctx.messages().iter().sum();
+        });
+        assert_eq!(comp.states(), &[5, 3, 42, 0]);
+        assert_eq!(comp.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn shard_buffers_are_recycled_across_supersteps() {
+        let g = line(32);
+        let mut comp: Computation<'_, u64, u64> =
+            Computation::new(&g, EngineConfig::with_threads(4), |_| 0);
+        let ping = |comp: &mut Computation<'_, u64, u64>| {
+            comp.activate(g.vertices());
+            comp.superstep_simple(|ctx| {
+                let targets: Vec<VertexId> = ctx.edges().iter().map(|e| e.target).collect();
+                for t in targets {
+                    ctx.send(t, 1);
+                }
+            });
+        };
+        ping(&mut comp);
+        let pooled = comp.shard_pool.len();
+        assert!(pooled > 0, "delivery must return shard buffers to the pool");
+        assert!(comp.shard_pool.iter().all(Vec::is_empty), "pooled buffers must be drained");
+        let capacity: usize = comp.shard_pool.iter().map(Vec::capacity).sum();
+        assert!(capacity > 0, "recycled buffers keep their capacity");
+        // Steady state: the next superstep takes and returns the same set.
+        ping(&mut comp);
+        assert_eq!(comp.shard_pool.len(), pooled);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub fn cartesian_a(
         let slot = if is_left { &mut lrows } else { &mut rrows };
         match slot {
             None => *slot = Some(t),
-            Some(acc) => acc.rows.extend(t.rows),
+            Some(acc) => acc.append(t),
         }
     }
     let product = match (lrows, rrows) {
@@ -172,7 +172,7 @@ mod tests {
         assert_eq!(a.len(), 12);
         assert_eq!(b.len(), 12);
         let norm = |t: &Table| {
-            let mut rows = t.rows.clone();
+            let mut rows = t.to_rows();
             rows.sort();
             rows
         };

@@ -438,21 +438,21 @@ impl<'t> TagJoinExecutor<'t> {
             }
             match a.agg_class {
                 AggClass::NoAgg => {
-                    for row in &value.rows {
+                    value.for_each_row(|row| {
                         if let Ok(out) = q.project_row(row) {
                             g.rows.push(out);
                         }
-                    }
+                    });
                 }
                 _ => {
                     // Partial aggregation per group key.
                     let mut local: FxHashMap<Box<[Value]>, Partial> = FxHashMap::default();
-                    for row in &value.rows {
+                    value.for_each_row(|row| {
                         let key: Box<[Value]> =
                             q.group_pos.iter().map(|&p| row[p].clone()).collect();
                         let part = local.entry(key).or_insert_with(|| q.fresh_partial(row));
                         let _ = q.update_partial(part, row);
-                    }
+                    });
                     if a.agg_class == AggClass::Local {
                         // Route each group's partial to the group-key
                         // attribute vertex along this root's own edge
@@ -1178,7 +1178,7 @@ impl<'a> QueryCtx<'a> {
             cols.push(k);
             row.push(v);
         }
-        Some(Table { cols, rows: vec![row.into_boxed_slice()] })
+        Some(Table::one_row(cols, row))
     }
 
     /// Evaluate the output items for one final row (NoAgg path).

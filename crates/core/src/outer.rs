@@ -73,10 +73,10 @@ pub fn outer_join(
         .groups
         .iter()
         .flat_map(|g| {
-            g.left.rows.iter().map(move |r| {
+            g.left.iter().map(move |r| {
                 let mut k = vec![g.join_value.clone()];
                 for (i, _) in spec.on.iter().enumerate().skip(1) {
-                    k.push(r[g.left.col_index(ColKey::Var(i as u32)).unwrap()].clone());
+                    k.push(r.get(g.left.col_index(ColKey::Var(i as u32)).unwrap()).clone());
                 }
                 k
             })
@@ -86,10 +86,10 @@ pub fn outer_join(
         .groups
         .iter()
         .flat_map(|g| {
-            g.right.rows.iter().map(move |r| {
+            g.right.iter().map(move |r| {
                 let mut k = vec![g.join_value.clone()];
                 for (i, _) in spec.on.iter().enumerate().skip(1) {
-                    k.push(r[g.right.col_index(ColKey::Var(i as u32)).unwrap()].clone());
+                    k.push(r.get(g.right.col_index(ColKey::Var(i as u32)).unwrap()).clone());
                 }
                 k
             })
@@ -132,7 +132,7 @@ pub fn outer_join(
                     row[pos] = tuple.get(schema.column_index(c)?).clone();
                 }
             }
-            out.rows.push(row.into_boxed_slice());
+            out.push_row(row);
         }
         Ok(())
     };
@@ -202,7 +202,7 @@ mod tests {
             outer_join(&tag, EngineConfig::sequential(), &spec(), OuterKind::Left).unwrap();
         // Inner: (1,100), (1,101); dangling left: a=2 and a=3 (NULL key).
         assert_eq!(t.len(), 4);
-        let nulls = t.rows.iter().filter(|r| r.iter().any(Value::is_null)).count();
+        let nulls = t.iter().filter(|r| r.values().any(Value::is_null)).count();
         assert_eq!(nulls, 2);
     }
 
@@ -253,6 +253,6 @@ mod tests {
         let (t, _) =
             outer_join(&tag, EngineConfig::sequential(), &spec(), OuterKind::Full).unwrap();
         assert_eq!(t.len(), 2);
-        assert!(t.rows.iter().all(|r| r.iter().any(Value::is_null)));
+        assert!(t.iter().all(|r| r.values().any(Value::is_null)));
     }
 }

@@ -13,7 +13,7 @@
 //!    representation of Section 4.1; [`TwoWayResult::expand`] produces the
 //!    flat bag-of-tuples form.
 
-use crate::table::{ColKey, Table};
+use crate::table::{ColKey, RowRef, Table};
 use std::sync::Arc;
 use vcsql_bsp::program::Aggregator;
 use vcsql_bsp::{Computation, EngineConfig, Message, RunStats, VertexCtx, VertexId};
@@ -62,7 +62,7 @@ impl TwoWayResult {
             out = Some(match out {
                 None => joined,
                 Some(mut acc) => {
-                    acc.rows.extend(joined.rows);
+                    acc.append(joined);
                     acc
                 }
             });
@@ -246,12 +246,15 @@ fn intersect_companions(mut l: Table, mut r: Table) -> (Table, Table) {
     let key = |row: &[Value], pos: &[usize]| -> Vec<Value> {
         pos.iter().map(|&p| row[p].clone()).collect()
     };
+    let row_key = |row: RowRef<'_>, pos: &[usize]| -> Vec<Value> {
+        pos.iter().map(|&p| row.get(p).clone()).collect()
+    };
     let lkeys: vcsql_relation::FxHashSet<Vec<Value>> =
-        l.rows.iter().map(|row| key(row, &lp)).collect();
+        l.iter().map(|row| row_key(row, &lp)).collect();
     let rkeys: vcsql_relation::FxHashSet<Vec<Value>> =
-        r.rows.iter().map(|row| key(row, &rp)).collect();
-    l.rows.retain(|row| rkeys.contains(&key(row, &lp)));
-    r.rows.retain(|row| lkeys.contains(&key(row, &rp)));
+        r.iter().map(|row| row_key(row, &rp)).collect();
+    l.retain(|row| rkeys.contains(&key(row, &lp)));
+    r.retain(|row| lkeys.contains(&key(row, &rp)));
     (l, r)
 }
 

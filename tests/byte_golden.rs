@@ -1,0 +1,71 @@
+//! Golden byte-accounting fixture: pins the per-strategy network-byte
+//! totals for the TPC-H suite at SF 0.01 on a 6-machine cluster.
+//!
+//! The wire-byte model (`Table::approx_bytes`, `NetStats`) is the basis of
+//! every spark/tag traffic ratio reported against the paper. Internal
+//! refactors of the data plane (e.g. the columnar `Table` layout) must not
+//! shift these numbers: bytes are a function of row count x column count x
+//! the 8-byte slot model plus padded string payloads, never of the in-memory
+//! representation. If a PR changes any total below on purpose, it changed
+//! the *measured model*, and every reported ratio needs re-deriving.
+//!
+//! Everything here is deterministic: data generation is seeded, placement
+//! depends only on graph shape (plus the calibration profile for
+//! `workload`), and byte accounting is independent of engine thread count.
+
+use vcsql::bsp::PartitionStrategy;
+use vcsql::query::analyze::{analyze, Analyzed};
+use vcsql::tag::TagGraph;
+use vcsql::workload::tpch;
+use vcsql::Cluster;
+
+const SEED: u64 = 42;
+const MACHINES: usize = 6;
+
+fn analyzed_suite(tag: &TagGraph) -> Vec<Analyzed> {
+    tpch::queries()
+        .iter()
+        .map(|q| analyze(&vcsql::query::parse(q.sql).unwrap(), tag.schemas()).unwrap())
+        .collect()
+}
+
+/// Total network bytes across the whole TPC-H suite under one strategy.
+fn suite_network_bytes(tag: &TagGraph, strategy: PartitionStrategy) -> u64 {
+    let mut session = Cluster::new(MACHINES)
+        .static_placement()
+        .strategy(strategy)
+        .session(tag)
+        .expect("session opens");
+    let mut total = 0u64;
+    for q in tpch::queries() {
+        let prepared = session.prepare(q.sql).expect("prepares");
+        let (_, net) = session.execute(&prepared).expect("executes");
+        total += net.network_bytes;
+    }
+    total
+}
+
+#[test]
+fn tpch_sf001_network_totals_are_pinned() {
+    let db = tpch::generate(0.01, SEED);
+    let tag = TagGraph::build(&db);
+    let profile = Cluster::new(MACHINES)
+        .calibrate(&tag, &analyzed_suite(&tag))
+        .expect("calibration succeeds");
+
+    let cases: [(PartitionStrategy, u64); 4] = [
+        (PartitionStrategy::Hash, 210_168),
+        (PartitionStrategy::CoLocate, 122_072),
+        (PartitionStrategy::Refined, 119_104),
+        (PartitionStrategy::Workload(profile), 86_240),
+    ];
+    for (strategy, expected) in cases {
+        let name = strategy.name();
+        let total = suite_network_bytes(&tag, strategy);
+        assert_eq!(
+            total, expected,
+            "TPC-H SF 0.01 network-byte total changed for `{name}`: \
+             got {total}, pinned {expected} — the wire-byte model moved"
+        );
+    }
+}
