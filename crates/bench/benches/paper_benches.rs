@@ -67,7 +67,7 @@ fn twoway_benches(c: &mut Criterion) {
             right_out: vec!["c"],
         };
         g.bench_function(BenchmarkId::new("join", format!("domain{b_domain}")), |b| {
-            b.iter(|| two_way_join(&tag, EngineConfig::default(), &spec).unwrap())
+            b.iter(|| two_way_join(&tag, EngineConfig::with_threads(4), &spec).unwrap())
         });
     }
     g.finish();
@@ -82,10 +82,10 @@ fn cycle_benches(c: &mut Criterion) {
     let tag = TagGraph::build(&db);
     let names = ["e0", "e1", "e2"];
     g.bench_function("triangle_vanilla", |b| {
-        b.iter(|| count_cycles(&tag, &names, None, EngineConfig::default()).unwrap())
+        b.iter(|| count_cycles(&tag, &names, None, EngineConfig::with_threads(4)).unwrap())
     });
     g.bench_function("triangle_theta_sqrt_in", |b| {
-        b.iter(|| count_cycles(&tag, &names, Some(77), EngineConfig::default()).unwrap())
+        b.iter(|| count_cycles(&tag, &names, Some(77), EngineConfig::with_threads(4)).unwrap())
     });
     g.finish();
 }

@@ -24,7 +24,10 @@
 //!   reshuffle       §5.2.2 ablation: reshuffle bytes vs join-chain length
 //!   bench           perf trajectory: row baseline vs TAG, single- vs
 //!                   multi-thread, per query; --json writes machine-readable
-//!                   timings (the committed BENCH_*.json files)
+//!                   timings (the committed BENCH_*.json files); --compare
+//!                   gates the run against a committed baseline, exiting
+//!                   nonzero when totals parallel_speedup regresses beyond
+//!                   --tolerance
 //!   all             everything above (except bench)
 
 use std::collections::BTreeMap;
@@ -45,6 +48,7 @@ const USAGE: &str = "\
 usage: repro <mode> [--sf a,b,c] [--partitioning hash,colocate,refined,workload]
              [--profile-from tpch|tpcds] [--bandwidth bytes_per_sec]
              [--sessions n] [--migration-budget n] [--threads n] [--json path]
+             [--compare path] [--tolerance f]
 
 modes:
   loading sizes tpch tpcds tpch-classes tpcds-matrix tpcds-classes
@@ -82,7 +86,14 @@ flags:
                          all); for `bench` this is the multi-thread arm
                          (default: the machine's parallelism, capped at 16)
   --json path            `bench` only: also write the per-query timings as
-                         machine-readable JSON to `path`";
+                         machine-readable JSON to `path`
+  --compare path         `bench` only: compare this run's totals
+                         parallel_speedup against a committed trajectory
+                         baseline (a BENCH_*.json file) and exit nonzero if
+                         any workload regresses beyond the tolerance — the
+                         CI gate on parallel overhead
+  --tolerance f          allowed fractional regression for --compare, in
+                         [0, 1) (default 0.15)";
 
 /// Print an argument error plus the usage text and exit with status 2.
 fn usage_error(msg: &str) -> ! {
@@ -141,6 +152,13 @@ fn parse_positive(raw: &str, flag: &str) -> usize {
     }
 }
 
+fn parse_tolerance(raw: &str) -> f64 {
+    match raw.parse::<f64>() {
+        Ok(t) if t.is_finite() && (0.0..1.0).contains(&t) => t,
+        _ => usage_error(&format!("bad --tolerance value `{raw}` (want a fraction in [0, 1))")),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<String> = None;
@@ -152,6 +170,8 @@ fn main() {
     let mut migration_budget: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut json_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut tolerance: Option<f64> = None;
     let mut distributed_flag: Option<&'static str> = None;
     let mut partitioning_explicit = false;
     let mut i = 0;
@@ -209,6 +229,17 @@ fn main() {
             "--json" => {
                 let raw = args.get(i + 1).unwrap_or_else(|| usage_error("--json needs a path"));
                 json_path = Some(raw.clone());
+                i += 2;
+            }
+            "--compare" => {
+                let raw = args.get(i + 1).unwrap_or_else(|| usage_error("--compare needs a path"));
+                compare_path = Some(raw.clone());
+                i += 2;
+            }
+            "--tolerance" => {
+                let raw =
+                    args.get(i + 1).unwrap_or_else(|| usage_error("--tolerance needs a value"));
+                tolerance = Some(parse_tolerance(raw));
                 i += 2;
             }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag `{flag}`")),
@@ -277,7 +308,14 @@ fn main() {
     if json_path.is_some() && mode != "bench" {
         usage_error("--json only applies to the `bench` mode");
     }
+    if compare_path.is_some() && mode != "bench" {
+        usage_error("--compare only applies to the `bench` mode");
+    }
+    if tolerance.is_some() && compare_path.is_none() {
+        usage_error("--tolerance requires --compare");
+    }
     let engine = threads.map(EngineConfig::with_threads).unwrap_or_default();
+    let compare = compare_path.as_deref().map(|p| (p, tolerance.unwrap_or(0.15)));
 
     match mode.as_str() {
         "loading" => loading(&sfs),
@@ -296,7 +334,7 @@ fn main() {
         "cost-model" => cost_model(),
         "triangle-theta" => triangle_theta(),
         "reshuffle" => reshuffle(last_sf),
-        "bench" => bench_trajectory(last_sf, threads, json_path.as_deref()),
+        "bench" => bench_trajectory(last_sf, threads, json_path.as_deref(), compare),
         "all" => {
             loading(&sfs);
             sizes(&sfs);
@@ -929,7 +967,7 @@ fn cost_model() {
             left_out: vec!["a"],
             right_out: vec!["c"],
         };
-        let res = two_way_join(&tag, EngineConfig::default(), &spec).unwrap();
+        let res = two_way_join(&tag, EngineConfig::with_threads(4), &spec).unwrap();
         let in_size = 4000u64;
         let out_size = res.output_size() as u64;
         rows.push(vec![
@@ -960,7 +998,7 @@ fn triangle_theta() {
     let in_size = 3.0 * 3000.0f64;
     let mut rows = Vec::new();
     let (vanilla_count, vanilla_stats) =
-        cyclic::count_cycles(&tag, &names, None, EngineConfig::default()).unwrap();
+        cyclic::count_cycles(&tag, &names, None, EngineConfig::with_threads(4)).unwrap();
     rows.push(vec![
         "vanilla".into(),
         vanilla_count.to_string(),
@@ -968,7 +1006,7 @@ fn triangle_theta() {
     ]);
     for theta in [1usize, 8, 32, 95, 256, 1024] {
         let (count, stats) =
-            cyclic::count_cycles(&tag, &names, Some(theta), EngineConfig::default()).unwrap();
+            cyclic::count_cycles(&tag, &names, Some(theta), EngineConfig::with_threads(4)).unwrap();
         assert_eq!(count, vanilla_count, "θ={theta} changed the result");
         let label = if theta == 95 {
             format!("θ={theta} (≈√IN={:.0})", in_size.sqrt())
@@ -1010,7 +1048,7 @@ fn reshuffle(sf: f64) {
     for (label, sql) in chains {
         let a = vcsql_query::analyze::analyze(&vcsql_query::parse(sql).unwrap(), tag.schemas())
             .unwrap();
-        let (_, net) = tag_distributed(&tag, &a, 6, EngineConfig::default()).unwrap();
+        let (_, net) = tag_distributed(&tag, &a, 6, EngineConfig::with_threads(4)).unwrap();
         let shuffle = spark.run(&a, &db).unwrap();
         rows.push(vec![
             label.to_string(),
@@ -1044,9 +1082,16 @@ struct TrajectoryEntry {
 /// reports the best of `REPS` runs, and every TAG result bag is checked
 /// against the row baseline — the bench doubles as an equivalence smoke
 /// across thread counts.
-fn bench_trajectory(sf: f64, threads: Option<usize>, json_path: Option<&str>) {
+fn bench_trajectory(
+    sf: f64,
+    threads: Option<usize>,
+    json_path: Option<&str>,
+    compare: Option<(&str, f64)>,
+) {
     const REPS: usize = 3;
-    let multi = threads.unwrap_or_else(|| EngineConfig::default().threads);
+    // Pinned default: `EngineConfig::default()` follows available_parallelism,
+    // which would make the committed trajectory host-dependent.
+    let multi = threads.unwrap_or(4);
     println!("\n## Perf trajectory — row baseline vs TAG, 1 vs {multi} thread(s) @ SF {sf}\n");
     let mut entries: Vec<TrajectoryEntry> = Vec::new();
     for (workload, genf, queries) in [
@@ -1122,6 +1167,74 @@ fn bench_trajectory(sf: f64, threads: Option<usize>, json_path: Option<&str>) {
         }
         println!("wrote {path}");
     }
+    if let Some((path, tolerance)) = compare {
+        compare_against_baseline(&entries, path, tolerance);
+    }
+}
+
+/// The trajectory regression gate behind `bench --compare`: this run's
+/// totals `parallel_speedup` per workload must not fall more than
+/// `tolerance` below the committed baseline's. Exits 1 on regression (or an
+/// unreadable/shapeless baseline), so CI can gate PRs on parallel overhead.
+fn compare_against_baseline(entries: &[TrajectoryEntry], path: &str, tolerance: f64) {
+    let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("repro: cannot read baseline {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\n### Trajectory gate vs {path} (tolerance {tolerance})\n");
+    let mut rows = Vec::new();
+    let mut regressed = false;
+    for workload in ["tpch", "tpcds"] {
+        let (mut t1, mut tm) = (0.0, 0.0);
+        for e in entries.iter().filter(|e| e.workload == workload) {
+            t1 += e.tag_1t_s;
+            tm += e.tag_mt_s;
+        }
+        let fresh = t1 / tm.max(1e-12);
+        let base = baseline_total_speedup(&baseline, workload).unwrap_or_else(|| {
+            eprintln!("repro: {path} has no totals parallel_speedup for {workload}");
+            std::process::exit(1);
+        });
+        let floor = base * (1.0 - tolerance);
+        let ok = fresh >= floor;
+        regressed |= !ok;
+        rows.push(vec![
+            workload.to_string(),
+            format!("{base:.3}"),
+            format!("{fresh:.3}"),
+            format!("{floor:.3}"),
+            if ok { "ok" } else { "REGRESSED" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["workload", "baseline speedup", "current", "floor", "status"].map(String::from),
+            &rows
+        )
+    );
+    if regressed {
+        eprintln!(
+            "repro: totals parallel_speedup regressed beyond tolerance {tolerance} vs {path}"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Pull a workload's totals `parallel_speedup` out of a trajectory JSON
+/// (our own `trajectory_json` shape). Hand-rolled substring walk — the
+/// workspace is offline, so no serde.
+fn baseline_total_speedup(json: &str, workload: &str) -> Option<f64> {
+    let totals = &json[json.find("\"totals\"")?..];
+    let workload_obj = &totals[totals.find(&format!("\"{workload}\""))?..];
+    let key = "\"parallel_speedup\":";
+    let after = &workload_obj[workload_obj.find(key)? + key.len()..];
+    let num: String = after
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
 }
 
 /// Serialize the trajectory as JSON by hand (the workspace is offline — no

@@ -5,9 +5,10 @@
 //! rendering. See DESIGN.md's experiment index for the mapping from paper
 //! tables/figures to harness modes.
 
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use vcsql_baseline::{execute as row_execute, ColumnarDatabase, ExecConfig, JoinAlgo};
-use vcsql_bsp::EngineConfig;
+use vcsql_bsp::{EngineConfig, WorkerPool};
 use vcsql_core::TagJoinExecutor;
 use vcsql_query::analyze::{analyze, Analyzed};
 use vcsql_query::parse;
@@ -60,6 +61,23 @@ impl Loaded {
     }
 }
 
+/// Process-wide persistent [`WorkerPool`] per thread count, so repeated
+/// timed runs (queries x reps across a whole `repro bench` invocation)
+/// reuse parked workers instead of measuring pool construction. Pools are
+/// cheap until their first fan-out, so keeping one per distinct thread
+/// count for the process lifetime costs nothing at rest.
+pub fn shared_pool(threads: usize) -> Arc<WorkerPool> {
+    static POOLS: OnceLock<Mutex<Vec<(usize, Arc<WorkerPool>)>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pools = pools.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, pool)) = pools.iter().find(|(t, _)| *t == threads) {
+        return Arc::clone(pool);
+    }
+    let pool = Arc::new(WorkerPool::new(threads));
+    pools.push((threads, Arc::clone(&pool)));
+    pool
+}
+
 /// Time a closure, returning (result, seconds).
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -73,8 +91,10 @@ pub fn prepare(loaded: &Loaded, sql: &str) -> Result<Analyzed> {
 }
 
 /// Run one query on one system, returning the result and wall seconds.
-/// Uses the default engine configuration for the TAG side; see
-/// [`run_system_with`] for an explicit thread count.
+/// Uses the default engine configuration for the TAG side — whose thread
+/// count follows `available_parallelism` and therefore **varies across
+/// hosts**; measurements that must be comparable should pin a count via
+/// [`run_system_with`].
 pub fn run_system(loaded: &Loaded, system: System, a: &Analyzed) -> Result<(Relation, f64)> {
     run_system_with(loaded, system, a, EngineConfig::default())
 }
@@ -90,7 +110,10 @@ pub fn run_system_with(
 ) -> Result<(Relation, f64)> {
     match system {
         System::TagJoin => {
-            let exec = TagJoinExecutor::new(&loaded.tag, engine);
+            let mut exec = TagJoinExecutor::new(&loaded.tag, engine);
+            if engine.threads > 1 {
+                exec = exec.with_worker_pool(shared_pool(engine.threads));
+            }
             let (out, secs) = time(|| exec.execute(a));
             Ok((out?.relation, secs))
         }

@@ -28,38 +28,72 @@
 //! live for the whole computation (cleared, not dropped, after compute) —
 //! so steady-state supersteps run allocation-free on the message path. The
 //! pool is refilled in shard-major, worker-minor order after each delivery,
-//! which keeps the whole cycle deterministic.
+//! which keeps the whole cycle deterministic. Recycled buffers whose
+//! capacity dwarfs their last use are shrunk on the way back, so the
+//! working set decays after a peak superstep instead of tracking it
+//! forever.
+//!
+//! Threading: parallel phases run on a persistent [`WorkerPool`] (attached
+//! via [`Computation::set_worker_pool`] or created lazily) — workers park on
+//! a condvar between phases instead of being respawned per superstep. A
+//! phase only fans out when its work item count reaches
+//! [`EngineConfig::parallel_threshold`]; below it the phase runs on the
+//! calling thread, so short supersteps pay no synchronization tax at all.
 
 use crate::graph::{Edge, Graph, VertexId};
 use crate::interner::LabelId;
 use crate::partition::Partitioning;
+use crate::pool::WorkerPool;
 use crate::program::{Aggregator, Message};
 use crate::stats::{LabelTraffic, RunStats, StepStats};
 use std::sync::Arc;
+
+/// Default for [`EngineConfig::parallel_threshold`]: phases with fewer work
+/// items than this run sequentially. Chosen so the per-phase pool hand-off
+/// (a mutex + condvar round-trip, ~microseconds) stays well under 1% of the
+/// phase's own work.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Worker threads (also the number of delivery shards).
     pub threads: usize,
+    /// Minimum work items — active vertices for the compute phase, pending
+    /// messages for the delivery phase — before the phase fans out to the
+    /// worker pool. Below the threshold the phase runs on the calling
+    /// thread (the shard layout, and therefore the result, is unchanged).
+    /// `0` forces every phase parallel; `usize::MAX` never fans out.
+    pub parallel_threshold: usize,
 }
 
 impl Default for EngineConfig {
+    /// Sizes `threads` from `std::thread::available_parallelism`, so the
+    /// default **varies across hosts** (and in CI). Benchmarks, tests, and
+    /// anything that must be reproducible should pin an explicit count via
+    /// [`EngineConfig::with_threads`].
     fn default() -> EngineConfig {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        EngineConfig { threads: threads.min(16) }
+        EngineConfig { threads: threads.min(16), parallel_threshold: DEFAULT_PARALLEL_THRESHOLD }
     }
 }
 
 impl EngineConfig {
     /// Single-threaded configuration (useful for deterministic debugging).
     pub fn sequential() -> EngineConfig {
-        EngineConfig { threads: 1 }
+        EngineConfig { threads: 1, parallel_threshold: DEFAULT_PARALLEL_THRESHOLD }
     }
 
     /// Configuration with an explicit thread count.
     pub fn with_threads(threads: usize) -> EngineConfig {
-        EngineConfig { threads: threads.max(1) }
+        EngineConfig { threads: threads.max(1), parallel_threshold: DEFAULT_PARALLEL_THRESHOLD }
+    }
+
+    /// Override the sequential-fallback threshold (see
+    /// [`EngineConfig::parallel_threshold`]).
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> EngineConfig {
+        self.parallel_threshold = threshold;
+        self
     }
 }
 
@@ -217,6 +251,21 @@ impl<T> SharedMut<T> {
     }
 }
 
+/// Shrink a recycled (drained) shard buffer whose capacity dwarfs its last
+/// use, so the buffer pool's memory high-water decays after a peak
+/// superstep instead of tracking it for the computation's lifetime. Keeps
+/// 2x the last use (hysteresis: only acts past 4x, so a stable workload
+/// never thrashes between shrink and regrow) and never shrinks below a
+/// small floor.
+fn shrink_recycled<T>(buf: &mut Vec<T>, used: usize) {
+    const FLOOR: usize = 32;
+    debug_assert!(buf.is_empty(), "shrink only applies to drained buffers");
+    let keep = used.max(FLOOR);
+    if buf.capacity() > 4 * keep {
+        buf.shrink_to(2 * keep);
+    }
+}
+
 /// A running vertex-centric computation: graph + states + inboxes + active
 /// set + statistics.
 pub struct Computation<'g, V, M: Message> {
@@ -234,6 +283,11 @@ pub struct Computation<'g, V, M: Message> {
     /// `workers x shards` buffers here and returns them after delivery, so
     /// steady-state supersteps reuse capacity instead of reallocating.
     shard_pool: Vec<Vec<(VertexId, M)>>,
+    /// Persistent worker runtime for parallel phases. Shared when the host
+    /// attached one ([`Computation::set_worker_pool`]); otherwise created
+    /// lazily — and its OS threads spawn lazier still, on the first phase
+    /// that actually fans out.
+    workers: Option<Arc<WorkerPool>>,
 }
 
 impl<'g, V: Send, M: Message> Computation<'g, V, M> {
@@ -250,7 +304,30 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
             stats: RunStats::default(),
             partitioning: None,
             shard_pool: Vec::new(),
+            workers: None,
         }
+    }
+
+    /// Attach a shared persistent [`WorkerPool`] for parallel phases.
+    /// Hosts that run many computations (a session re-executing prepared
+    /// queries) share one pool so every run reuses the same parked worker
+    /// threads. Without this, the computation lazily creates a private pool
+    /// on its first parallel superstep. The pool must have at least
+    /// [`EngineConfig::threads`] worker slots.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        assert!(
+            pool.threads() >= self.config.threads,
+            "pool has {} worker slots but the engine is configured for {} threads",
+            pool.threads(),
+            self.config.threads
+        );
+        self.workers = Some(pool);
+    }
+
+    /// The attached worker pool, if any parallel superstep has run (or a
+    /// pool was attached explicitly).
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.workers.as_ref()
     }
 
     /// Attach a machine partitioning: subsequent supersteps will count
@@ -378,16 +455,33 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
     {
         self.normalize_active();
         let shards = self.config.threads;
+        let threshold = self.config.parallel_threshold;
         let active = std::mem::take(&mut self.active);
-        let workers = self.config.threads.min(active.len()).max(1);
+        // Adaptive sequential fallback: below the threshold the pool
+        // hand-off would cost more than it buys, so the phase runs inline.
+        // The shard layout is identical either way, so results (and the
+        // documented delivery determinism) don't depend on this choice.
+        let workers = if !active.is_empty() && active.len() >= threshold {
+            self.config.threads.min(active.len())
+        } else {
+            1
+        };
         let chunk = active.len().div_ceil(workers).max(1);
+        // The persistent runtime. Creating the pool is free (OS threads
+        // spawn on the first fan-out inside `WorkerPool::run`), so a
+        // multi-thread config materializes one here even if every phase
+        // ends up taking the sequential fallback.
+        if self.config.threads > 1 && self.workers.is_none() {
+            self.workers = Some(Arc::new(WorkerPool::new(self.config.threads)));
+        }
+        let worker_pool = self.workers.clone();
 
         // Recycled shard buffers: hand each worker `shards` drained buffers
         // from the pool (topped up with fresh ones on the first supersteps).
-        let mut pool = std::mem::take(&mut self.shard_pool);
-        let take_shard_set = |pool: &mut Vec<Vec<(VertexId, M)>>| {
-            let start = pool.len().saturating_sub(shards);
-            let mut set: Vec<Vec<(VertexId, M)>> = pool.drain(start..).collect();
+        let mut buf_pool = std::mem::take(&mut self.shard_pool);
+        let take_shard_set = |buf_pool: &mut Vec<Vec<(VertexId, M)>>| {
+            let start = buf_pool.len().saturating_sub(shards);
+            let mut set: Vec<Vec<(VertexId, M)>> = buf_pool.drain(start..).collect();
             set.resize_with(shards, Vec::new);
             set
         };
@@ -403,7 +497,7 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
             // Nothing to run, but the superstep is still recorded so the
             // count matches the driver's step sequence.
         } else if workers == 1 {
-            let mut out = Outbox::new(take_shard_set(&mut pool), partitioning);
+            let mut out = Outbox::new(take_shard_set(&mut buf_pool), partitioning);
             let mut agg = G::default();
             for &v in &active {
                 // SAFETY: single worker — trivially disjoint.
@@ -416,41 +510,43 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
             }
             results.push((out, agg));
         } else {
+            let pool_ref =
+                worker_pool.as_deref().expect("multi-thread config always carries a pool");
             let compute_ref = &compute;
             let active_ref = &active;
             let states_ref = &states;
             let inboxes_ref = &inboxes;
-            let worker_bufs: Vec<Vec<Vec<(VertexId, M)>>> =
-                (0..workers).map(|_| take_shard_set(&mut pool)).collect();
-            results = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                for (w, bufs) in worker_bufs.into_iter().enumerate() {
-                    let lo = (w * chunk).min(active_ref.len());
-                    let hi = ((w + 1) * chunk).min(active_ref.len());
-                    handles.push(scope.spawn(move || {
-                        let mut out = Outbox::new(bufs, partitioning);
-                        let mut agg = G::default();
-                        for &v in &active_ref[lo..hi] {
-                            // SAFETY: the active list is deduplicated and
-                            // workers take disjoint chunks, so each vertex's
-                            // state and inbox is touched by one worker only.
-                            let state = unsafe { states_ref.get(v as usize) };
-                            let inbox = unsafe { inboxes_ref.get(v as usize) };
-                            let mut ctx = VertexCtx {
-                                vid: v,
-                                graph,
-                                state,
-                                msgs: inbox.as_slice(),
-                                out: &mut out,
-                            };
-                            compute_ref(&mut ctx, &mut agg);
-                            inbox.clear();
-                        }
-                        (out, agg)
-                    }));
+            // Per-worker input buffers and output slots, written through
+            // `SharedMut` — the pool runs every worker index exactly once
+            // per epoch, so index `w` is touched by one thread only.
+            let mut worker_bufs: Vec<Option<Vec<Vec<(VertexId, M)>>>> =
+                (0..workers).map(|_| Some(take_shard_set(&mut buf_pool))).collect();
+            let mut slots: Vec<Option<(Outbox<'_, M>, G)>> = Vec::new();
+            slots.resize_with(workers, || None);
+            let bufs_ptr = SharedMut(worker_bufs.as_mut_ptr());
+            let slots_ptr = SharedMut(slots.as_mut_ptr());
+            pool_ref.run(workers, &|w| {
+                // SAFETY: one epoch runs index `w` once — disjoint slots.
+                let bufs = unsafe { bufs_ptr.get(w) }.take().expect("worker buffers set");
+                let mut out = Outbox::new(bufs, partitioning);
+                let mut agg = G::default();
+                let lo = (w * chunk).min(active_ref.len());
+                let hi = ((w + 1) * chunk).min(active_ref.len());
+                for &v in &active_ref[lo..hi] {
+                    // SAFETY: the active list is deduplicated and workers
+                    // take disjoint chunks, so each vertex's state and
+                    // inbox is touched by one worker only.
+                    let state = unsafe { states_ref.get(v as usize) };
+                    let inbox = unsafe { inboxes_ref.get(v as usize) };
+                    let mut ctx =
+                        VertexCtx { vid: v, graph, state, msgs: inbox.as_slice(), out: &mut out };
+                    compute_ref(&mut ctx, &mut agg);
+                    inbox.clear();
                 }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                // SAFETY: as above — slot `w` belongs to this worker.
+                *unsafe { slots_ptr.get(w) } = Some((out, agg));
             });
+            results = slots.into_iter().map(|s| s.expect("pool ran every worker")).collect();
         }
 
         // --- merge aggregates and counters ----------------------------------
@@ -475,55 +571,68 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
 
         // --- delivery phase ---------------------------------------------------
         // Shard `s` owns inboxes of vertices with `v % shards == s`; shards
-        // run in parallel, and within a shard worker outboxes are drained in
+        // run in parallel (sequentially below the threshold — same order
+        // either way), and within a shard worker outboxes are drained in
         // worker order, which preserves global source order. Messages are
         // *moved* into inboxes (the outbox held the only copy), and drained
         // shard buffers return to the pool — in shard-major, worker-minor
-        // order, independent of which delivery thread finished first.
+        // order, independent of which delivery thread finished first —
+        // shrunk first when their capacity dwarfs this step's use.
         let mut newly_active: Vec<Vec<VertexId>> = Vec::new();
         if step.messages > 0 {
             let inboxes_ref = &inboxes;
             // Transpose to per-shard groups, preserving worker order within
             // each group (the determinism invariant above).
-            let groups: Vec<Vec<Vec<(VertexId, M)>>> = (0..shards)
+            let mut groups: Vec<Vec<Vec<(VertexId, M)>>> = (0..shards)
                 .map(|s| worker_shards.iter_mut().map(|ws| std::mem::take(&mut ws[s])).collect())
                 .collect();
-            let delivered: Vec<(Vec<VertexId>, Vec<Vec<(VertexId, M)>>)> =
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(shards);
-                    for mut group in groups {
-                        handles.push(scope.spawn(move || {
-                            let mut woken = Vec::new();
-                            for buf in &mut group {
-                                for (v, m) in buf.drain(..) {
-                                    // SAFETY: every message in this group
-                                    // targets v % shards == s by construction
-                                    // of Outbox::send, so only this shard's
-                                    // worker touches inboxes[v].
-                                    let inbox = unsafe { inboxes_ref.get(v as usize) };
-                                    if inbox.is_empty() {
-                                        woken.push(v);
-                                    }
-                                    inbox.push(m);
-                                }
-                            }
-                            (woken, group)
-                        }));
+            let mut woken_slots: Vec<Option<Vec<VertexId>>> = Vec::new();
+            woken_slots.resize_with(shards, || None);
+            let groups_ptr = SharedMut(groups.as_mut_ptr());
+            let woken_ptr = SharedMut(woken_slots.as_mut_ptr());
+            let deliver = |s: usize| {
+                // SAFETY: one epoch runs shard `s` once — disjoint slots.
+                let group = unsafe { groups_ptr.get(s) };
+                let mut woken = Vec::new();
+                for buf in group.iter_mut() {
+                    let used = buf.len();
+                    for (v, m) in buf.drain(..) {
+                        // SAFETY: every message in this group targets
+                        // v % shards == s by construction of Outbox::send,
+                        // so only this shard's worker touches inboxes[v].
+                        let inbox = unsafe { inboxes_ref.get(v as usize) };
+                        if inbox.is_empty() {
+                            woken.push(v);
+                        }
+                        inbox.push(m);
                     }
-                    handles.into_iter().map(|h| h.join().expect("delivery panicked")).collect()
-                });
-            for (woken, group) in delivered {
-                newly_active.push(woken);
-                pool.extend(group);
+                    shrink_recycled(buf, used);
+                }
+                // SAFETY: as above — slot `s` belongs to this shard.
+                *unsafe { woken_ptr.get(s) } = Some(woken);
+            };
+            if shards > 1 && step.messages >= threshold as u64 {
+                worker_pool
+                    .as_deref()
+                    .expect("multi-thread config always carries a pool")
+                    .run(shards, &deliver);
+            } else {
+                for s in 0..shards {
+                    deliver(s);
+                }
+            }
+            for (woken, group) in woken_slots.into_iter().zip(groups) {
+                newly_active.push(woken.expect("every shard delivered"));
+                buf_pool.extend(group);
             }
         } else {
             // No messages this step: the shard buffers are already empty;
             // recycle them (and their capacity) directly.
             for mut ws in worker_shards {
-                pool.append(&mut ws);
+                buf_pool.append(&mut ws);
             }
         }
-        self.shard_pool = pool;
+        self.shard_pool = buf_pool;
 
         let mut next: Vec<VertexId> = newly_active.into_iter().flatten().collect();
         next.sort_unstable();
@@ -593,8 +702,13 @@ mod tests {
     fn results_independent_of_thread_count() {
         let g = line(64);
         let run = |threads: usize| {
-            let mut comp: Computation<'_, u64, u64> =
-                Computation::new(&g, EngineConfig::with_threads(threads), |_| 0);
+            // Threshold 0: force the pool even at this tiny scale, so the
+            // test covers the parallel phases, not the fallback.
+            let mut comp: Computation<'_, u64, u64> = Computation::new(
+                &g,
+                EngineConfig::with_threads(threads).with_parallel_threshold(0),
+                |_| 0,
+            );
             comp.activate(g.vertices());
             // Superstep 1: everyone sends its id to all neighbours.
             // Superstep 2: everyone sums what it received.
@@ -631,7 +745,7 @@ mod tests {
         }
         let g = line(100);
         let mut comp: Computation<'_, (), u64> =
-            Computation::new(&g, EngineConfig::with_threads(4), |_| ());
+            Computation::new(&g, EngineConfig::with_threads(4).with_parallel_threshold(0), |_| ());
         comp.activate(g.vertices());
         let (_, total) = comp.superstep(|ctx, agg: &mut Sum| {
             agg.0 += ctx.id() as u64;
@@ -663,7 +777,7 @@ mod tests {
         let g = line(6);
         let label = g.edge_label_id("next").unwrap();
         let mut comp: Computation<'_, (), u64> =
-            Computation::new(&g, EngineConfig::with_threads(3), |_| ());
+            Computation::new(&g, EngineConfig::with_threads(3).with_parallel_threshold(0), |_| ());
         comp.set_partitioning(Partitioning::from_assignment(vec![0, 0, 1, 1, 0, 1], 2));
         comp.activate(g.vertices());
         comp.superstep_simple(|ctx| {
@@ -707,7 +821,7 @@ mod tests {
     fn inject_duplicates_normalize_before_compute() {
         let g = line(4);
         let mut comp: Computation<'_, u64, u64> =
-            Computation::new(&g, EngineConfig::with_threads(4), |_| 0);
+            Computation::new(&g, EngineConfig::with_threads(4).with_parallel_threshold(0), |_| 0);
         // Repeated and unsorted injections: the active list must come out
         // sorted and deduplicated (a duplicate would hand one vertex to two
         // workers), with every message delivered once.
@@ -726,7 +840,7 @@ mod tests {
     fn shard_buffers_are_recycled_across_supersteps() {
         let g = line(32);
         let mut comp: Computation<'_, u64, u64> =
-            Computation::new(&g, EngineConfig::with_threads(4), |_| 0);
+            Computation::new(&g, EngineConfig::with_threads(4).with_parallel_threshold(0), |_| 0);
         let ping = |comp: &mut Computation<'_, u64, u64>| {
             comp.activate(g.vertices());
             comp.superstep_simple(|ctx| {
@@ -745,6 +859,120 @@ mod tests {
         // Steady state: the next superstep takes and returns the same set.
         ping(&mut comp);
         assert_eq!(comp.shard_pool.len(), pooled);
+    }
+
+    /// All-to-neighbours ping used by the runtime tests below.
+    fn ping_all(comp: &mut Computation<'_, u64, u64>, g: &Graph) {
+        comp.activate(g.vertices());
+        comp.superstep_simple(|ctx| {
+            let targets: Vec<VertexId> = ctx.edges().iter().map(|e| e.target).collect();
+            for t in targets {
+                let id = ctx.id() as u64;
+                ctx.send(t, id);
+            }
+        });
+    }
+
+    #[test]
+    fn worker_threads_persist_across_supersteps() {
+        let g = line(64);
+        let mut comp: Computation<'_, u64, u64> =
+            Computation::new(&g, EngineConfig::with_threads(4).with_parallel_threshold(0), |_| 0);
+        for round in 0..10 {
+            ping_all(&mut comp, &g);
+            let pool = comp.worker_pool().expect("parallel superstep created the pool");
+            assert_eq!(pool.spawned_workers(), 3, "round {round}: threads-1 workers, once");
+            assert_eq!(pool.live_workers(), 3, "round {round}: workers parked, not respawned");
+        }
+    }
+
+    #[test]
+    fn small_supersteps_skip_thread_spawn() {
+        let g = line(32);
+        // Default threshold (2048) dwarfs this graph: every phase must take
+        // the sequential fallback and never start an OS thread.
+        let mut comp: Computation<'_, u64, u64> =
+            Computation::new(&g, EngineConfig::with_threads(4), |_| 0);
+        for _ in 0..3 {
+            ping_all(&mut comp, &g);
+        }
+        let pool = comp.worker_pool().expect("multi-thread config carries a pool");
+        assert_eq!(pool.spawned_workers(), 0, "sub-threshold supersteps must not spawn");
+        assert_eq!(comp.stats().total_messages(), 3 * 2 * 31);
+    }
+
+    #[test]
+    fn inject_between_supersteps_with_live_workers() {
+        let g = line(64);
+        let mut comp: Computation<'_, u64, u64> =
+            Computation::new(&g, EngineConfig::with_threads(4).with_parallel_threshold(0), |_| 0);
+        ping_all(&mut comp, &g);
+        assert_eq!(comp.worker_pool().unwrap().live_workers(), 3);
+        // Host-side seeding while workers sit parked between supersteps.
+        comp.inject(0, 100);
+        comp.inject_all([(5, 7), (5, 8), (63, 1)]);
+        comp.superstep_simple(|ctx| {
+            *ctx.state = ctx.messages().iter().sum();
+        });
+        assert_eq!(*comp.state(5), 4 + 6 + 7 + 8, "neighbour ids plus both injections");
+        assert_eq!(*comp.state(0), 1 + 100);
+        assert_eq!(*comp.state(63), 62 + 1);
+        assert_eq!(comp.worker_pool().unwrap().live_workers(), 3, "workers survive injection");
+    }
+
+    #[test]
+    fn shared_pool_outlives_computations() {
+        let g = line(64);
+        let pool = Arc::new(crate::pool::WorkerPool::new(3));
+        for _ in 0..20 {
+            let mut comp: Computation<'_, u64, u64> = Computation::new(
+                &g,
+                EngineConfig::with_threads(3).with_parallel_threshold(0),
+                |_| 0,
+            );
+            comp.set_worker_pool(Arc::clone(&pool));
+            ping_all(&mut comp, &g);
+            assert_eq!(comp.worker_pool().unwrap().spawned_workers(), 2);
+        }
+        // Every computation released its handle and the workers still run.
+        assert_eq!(Arc::strong_count(&pool), 1);
+        assert_eq!(pool.live_workers(), 2);
+    }
+
+    #[test]
+    fn undersized_shared_pool_is_rejected() {
+        let g = line(8);
+        let mut comp: Computation<'_, u64, u64> =
+            Computation::new(&g, EngineConfig::with_threads(4), |_| 0);
+        let pool = Arc::new(crate::pool::WorkerPool::new(2));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| comp.set_worker_pool(pool)));
+        assert!(r.is_err(), "a pool smaller than the engine's thread count must be rejected");
+    }
+
+    #[test]
+    fn shard_pool_capacity_decays_after_peak_superstep() {
+        let g = line(256);
+        let mut comp: Computation<'_, u64, u64> =
+            Computation::new(&g, EngineConfig::sequential(), |_| 0);
+        // Peak superstep: every vertex messages both neighbours (510 sends).
+        ping_all(&mut comp, &g);
+        let peak: usize = comp.shard_pool.iter().map(Vec::capacity).sum();
+        assert!(peak >= 510, "peak superstep should have grown the buffer, got {peak}");
+        // Quiet superstep: a single message. The recycled buffer must shed
+        // the peak capacity instead of carrying it forever.
+        comp.superstep_simple(|ctx| {
+            if ctx.id() == 0 {
+                ctx.send(1, 1);
+            }
+        });
+        let after: usize = comp.shard_pool.iter().map(Vec::capacity).sum();
+        assert!(after < peak / 4, "high-water must decay: {after} vs peak {peak}");
+        // And delivery still works on the shrunk buffer.
+        comp.superstep_simple(|ctx| {
+            *ctx.state = ctx.messages().iter().sum();
+        });
+        assert_eq!(*comp.state(1), 1);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //!
 //! * a labelled, immutable [`Graph`] (CSR adjacency, interned labels),
 //! * per-vertex user state and double-buffered message inboxes,
-//! * thread parallelism over shards of the active vertex set,
+//! * thread parallelism over shards of the active vertex set, driven by a
+//!   persistent [`WorkerPool`] (workers park between supersteps; small
+//!   supersteps fall back to sequential execution automatically),
 //! * global aggregators (the paper's "aggregation vertex" mechanism),
 //! * per-superstep and total statistics: messages, bytes, active vertices —
 //!   the paper's *communication cost* measure, and
@@ -31,15 +33,17 @@ pub mod engine;
 pub mod graph;
 pub mod interner;
 pub mod partition;
+pub mod pool;
 pub mod program;
 pub mod stats;
 
-pub use engine::{Computation, EngineConfig, Outbox, VertexCtx};
+pub use engine::{Computation, EngineConfig, Outbox, VertexCtx, DEFAULT_PARALLEL_THRESHOLD};
 pub use graph::{Edge, Graph, GraphBuilder, VertexId};
 pub use interner::{Interner, LabelId};
 pub use partition::{
     balance_cap, migrate_step, MigrationMove, MigrationStep, PartitionDiagnostics,
     PartitionStrategy, Partitioning, RefineConfig, DEFAULT_BALANCE_SLACK,
 };
+pub use pool::WorkerPool;
 pub use program::{run_program, Aggregator, Message, VertexProgram};
 pub use stats::{LabelTraffic, RunStats, StepStats, TrafficProfile};

@@ -36,7 +36,7 @@ use std::sync::Arc;
 use vcsql_bsp::program::Aggregator;
 use vcsql_bsp::{
     Computation, EngineConfig, LabelId, LabelTraffic, PartitionStrategy, Partitioning, RunStats,
-    VertexCtx, VertexId,
+    VertexCtx, VertexId, WorkerPool,
 };
 use vcsql_query::analyze::{lower_subquery, Analyzed, LoweredSubquery, OutputItem};
 use vcsql_query::tagplan::{Step, TagPlan};
@@ -74,12 +74,22 @@ pub struct TagJoinExecutor<'t> {
     tag: &'t TagGraph,
     config: EngineConfig,
     partitioning: Option<Arc<Partitioning>>,
+    workers: Option<Arc<WorkerPool>>,
 }
 
 impl<'t> TagJoinExecutor<'t> {
     /// New executor with the given engine configuration.
     pub fn new(tag: &'t TagGraph, config: EngineConfig) -> Self {
-        TagJoinExecutor { tag, config, partitioning: None }
+        TagJoinExecutor { tag, config, partitioning: None, workers: None }
+    }
+
+    /// Attach a shared persistent worker pool: every computation this
+    /// executor starts (including subquery runs) reuses the same parked
+    /// worker threads instead of creating a private pool per query. Hosts
+    /// that execute many queries (a `Session`) attach one pool at open.
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.workers = Some(pool);
+        self
     }
 
     /// Attach a simulated machine partitioning (network accounting).
@@ -145,6 +155,9 @@ impl<'t> TagJoinExecutor<'t> {
             Computation::new(self.tag.graph(), self.config, |_| St::default());
         if let Some(p) = &self.partitioning {
             comp.set_partitioning_shared(Arc::clone(p));
+        }
+        if let Some(pool) = &self.workers {
+            comp.set_worker_pool(Arc::clone(pool));
         }
 
         // Order components: primary last.

@@ -299,7 +299,7 @@ mod tests {
         let db = tpch::generate(0.02, 42);
         let tag = TagGraph::build(&db);
         let a = analyzed(&tag, JOIN_SQL);
-        let (_, tag_net) = tag_distributed(&tag, &a, 6, EngineConfig::default()).unwrap();
+        let (_, tag_net) = tag_distributed(&tag, &a, 6, EngineConfig::with_threads(4)).unwrap();
         let spark = SparkModel { machines: 6, broadcast_threshold: 0 };
         let spark_net = spark.run(&a, &db).unwrap();
         assert!(
@@ -341,7 +341,7 @@ mod tests {
         let spark = SparkModel { machines: 6, broadcast_threshold: 0 };
         for q in tpch::queries() {
             let a = analyzed(&tag, q.sql);
-            let (_, tag_net) = tag_distributed(&tag, &a, 6, EngineConfig::default())
+            let (_, tag_net) = tag_distributed(&tag, &a, 6, EngineConfig::with_threads(4))
                 .unwrap_or_else(|e| panic!("{}: tag_distributed: {e}", q.id));
             let spark_net =
                 spark.run(&a, &db).unwrap_or_else(|e| panic!("{}: spark model: {e}", q.id));

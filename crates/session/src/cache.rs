@@ -13,13 +13,35 @@ use std::sync::Arc;
 use vcsql_core::QueryPlan;
 use vcsql_relation::{FxHashMap, RelError};
 
+/// A cached plan plus the generation stamp of its latest use.
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<QueryPlan>,
+    /// Generation of this entry's most recent hit or insert; older stamps
+    /// for the same SQL in `order` are stale.
+    gen: u64,
+}
+
 /// A bounded LRU cache of prepared [`QueryPlan`]s, keyed by SQL text.
+///
+/// Recency is tracked with generation counters instead of a reordered
+/// list: every hit appends a freshly-stamped `(generation, sql)` pair to
+/// `order` and bumps the stamp in the map, leaving the old pair behind as
+/// a stale tombstone. Hits are therefore O(1) amortized (the old
+/// linked-order variant scanned and spliced the recency list — O(capacity)
+/// per hit), and eviction pops from the front, skipping pairs whose stamp
+/// no longer matches the map. `order` is compacted in place whenever the
+/// tombstones outnumber live entries 4:1, which bounds it at
+/// O(capacity) space amortized.
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
-    plans: FxHashMap<String, Arc<QueryPlan>>,
-    /// Recency order: front = least recently used, back = most recent.
-    order: VecDeque<String>,
+    plans: FxHashMap<String, Entry>,
+    /// Recency log: front = oldest stamp. Pairs whose generation differs
+    /// from the map's entry are stale and skipped at eviction.
+    order: VecDeque<(u64, String)>,
+    /// Monotonic stamp source.
+    clock: u64,
     hits: u64,
     misses: u64,
 }
@@ -33,6 +55,7 @@ impl PlanCache {
             capacity,
             plans: FxHashMap::default(),
             order: VecDeque::new(),
+            clock: 0,
             hits: 0,
             misses: 0,
         }
@@ -47,29 +70,47 @@ impl PlanCache {
         sql: &str,
         build: impl FnOnce() -> Result<QueryPlan, RelError>,
     ) -> Result<Arc<QueryPlan>, RelError> {
-        if let Some(plan) = self.plans.get(sql) {
+        self.clock += 1;
+        let gen = self.clock;
+        if let Some(entry) = self.plans.get_mut(sql) {
             self.hits += 1;
-            let plan = Arc::clone(plan);
-            self.touch(sql);
+            entry.gen = gen;
+            let plan = Arc::clone(&entry.plan);
+            self.order.push_back((gen, sql.to_string()));
+            self.compact();
             return Ok(plan);
         }
         let plan = Arc::new(build()?);
         self.misses += 1;
         if self.plans.len() == self.capacity {
-            if let Some(lru) = self.order.pop_front() {
-                self.plans.remove(&lru);
-            }
+            self.evict_lru();
         }
-        self.plans.insert(sql.to_string(), Arc::clone(&plan));
-        self.order.push_back(sql.to_string());
+        self.plans.insert(sql.to_string(), Entry { plan: Arc::clone(&plan), gen });
+        self.order.push_back((gen, sql.to_string()));
         Ok(plan)
     }
 
-    /// Move `sql` to the most-recently-used position.
-    fn touch(&mut self, sql: &str) {
-        if let Some(pos) = self.order.iter().position(|s| s == sql) {
-            let s = self.order.remove(pos).expect("position just found");
-            self.order.push_back(s);
+    /// Pop recency pairs from the front until one still matches its map
+    /// entry's stamp; evict that plan. Each stale pair is popped exactly
+    /// once over its lifetime, so the cost amortizes to O(1) per operation.
+    fn evict_lru(&mut self) {
+        while let Some((gen, sql)) = self.order.pop_front() {
+            let live = self.plans.get(&sql).is_some_and(|e| e.gen == gen);
+            if live {
+                self.plans.remove(&sql);
+                return;
+            }
+        }
+        debug_assert!(self.plans.is_empty(), "entries must be reachable from the recency log");
+    }
+
+    /// Rebuild `order` without tombstones once they dominate. Amortized
+    /// O(1): a compaction scanning `4 * capacity` pairs is paid for by the
+    /// at least `3 * capacity` hits that created the tombstones.
+    fn compact(&mut self) {
+        if self.order.len() >= 4 * self.capacity.max(1) {
+            let plans = &self.plans;
+            self.order.retain(|(gen, sql)| plans.get(sql).is_some_and(|e| e.gen == *gen));
         }
     }
 
@@ -155,6 +196,31 @@ mod tests {
         plan_for(&mut cache, b);
         assert_eq!(cache.misses(), 4);
         assert!(!cache.contains(a), "a became LRU after c and b were touched");
+    }
+
+    #[test]
+    fn hit_storms_keep_the_recency_log_bounded_and_lru_exact() {
+        let mut cache = PlanCache::new(2);
+        let (a, b, c) = ("SELECT r.a FROM r", "SELECT r.b FROM r", "SELECT r.a, r.b FROM r");
+        plan_for(&mut cache, a);
+        plan_for(&mut cache, b);
+        // A hot statement hit thousands of times must not grow the recency
+        // log past the compaction bound (the old implementation paid an
+        // O(capacity) splice per hit instead).
+        for _ in 0..1000 {
+            plan_for(&mut cache, a);
+        }
+        assert_eq!(cache.hits(), 1000);
+        assert!(
+            cache.order.len() <= 4 * cache.capacity(),
+            "stale recency pairs must be compacted, log holds {}",
+            cache.order.len()
+        );
+        // Eviction still finds the true LRU after the storm.
+        plan_for(&mut cache, c);
+        assert!(cache.contains(a), "hot entry must survive");
+        assert!(!cache.contains(b), "cold entry must be the one evicted");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

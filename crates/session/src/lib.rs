@@ -43,7 +43,7 @@ use std::cell::RefCell;
 use std::sync::Arc;
 use vcsql_bsp::{
     balance_cap, migrate_step, EngineConfig, PartitionStrategy, Partitioning, TrafficProfile,
-    VertexId, DEFAULT_BALANCE_SLACK,
+    VertexId, WorkerPool, DEFAULT_BALANCE_SLACK,
 };
 use vcsql_relation::{RelError, Value};
 use vcsql_tag::TagGraph;
@@ -173,6 +173,10 @@ pub struct Session<'t> {
     /// Current placement (`None` when `machines == 1`), shared with the
     /// executor per run instead of copied.
     partitioning: Option<Arc<Partitioning>>,
+    /// Persistent worker runtime shared across every execution this session
+    /// performs (`None` for single-threaded engine configs). Workers park
+    /// between queries, so prepared-query re-execution pays no thread churn.
+    workers: Option<Arc<WorkerPool>>,
     /// The profile the current placement was derived from (empty for the
     /// static strategies — any observed traffic then drifts maximally and
     /// self-tunes the session on first use).
@@ -222,16 +226,28 @@ impl<'t> Session<'t> {
             _ => TrafficProfile::new(),
         };
         let cache = PlanCache::new(config.plan_cache_capacity);
+        // One persistent worker pool for the session's whole life: its OS
+        // threads spawn on the first superstep that actually fans out, and
+        // every query executed through this session reuses them.
+        let workers =
+            (config.engine.threads > 1).then(|| Arc::new(WorkerPool::new(config.engine.threads)));
         Ok(Session {
             tag,
             accumulated: placement_profile.clone(),
             placement_profile,
             partitioning,
+            workers,
             pending: None,
             stats: SessionStats::default(),
             cache,
             config,
         })
+    }
+
+    /// The session's persistent worker pool (`None` when the engine config
+    /// is single-threaded). Exposed for diagnostics and tests.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.workers.as_ref()
     }
 
     /// Prepare a statement: parse → analyze → GYO → TAG plan, served from
@@ -255,6 +271,9 @@ impl<'t> Session<'t> {
         let mut exec = TagJoinExecutor::new(self.tag, self.config.engine);
         if let Some(p) = self.placement_for(prepared) {
             exec = exec.with_partitioning_shared(p);
+        }
+        if let Some(pool) = &self.workers {
+            exec = exec.with_worker_pool(Arc::clone(pool));
         }
         let out = exec.execute_plan(prepared.plan())?;
         let mut net = NetStats {
@@ -431,6 +450,33 @@ mod tests {
 
     const JOIN_SQL: &str = "SELECT c.c_name FROM customer c, orders o, lineitem l \
                             WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey";
+
+    #[test]
+    fn repeated_execution_reuses_session_workers() {
+        let (tag, mut config) = session(1);
+        // Threshold 0 forces the parallel phases so worker reuse is visible
+        // even at this tiny scale.
+        config.engine = EngineConfig::with_threads(3).with_parallel_threshold(0);
+        let mut s = Session::open(&tag, config).unwrap();
+        let prepared = s.prepare(JOIN_SQL).unwrap();
+        let seq = TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(JOIN_SQL).unwrap();
+        for round in 0..3 {
+            let (out, _) = s.execute(&prepared).unwrap();
+            assert!(out.relation.same_bag_approx(&seq.relation, 1e-9));
+            let pool = s.worker_pool().expect("multi-thread session owns a pool");
+            assert_eq!(pool.spawned_workers(), 2, "round {round}: workers spawn once");
+            assert_eq!(pool.live_workers(), 2, "round {round}: workers parked between queries");
+        }
+    }
+
+    #[test]
+    fn sequential_session_owns_no_pool() {
+        let (tag, config) = session(1);
+        let mut s = Session::open(&tag, config).unwrap();
+        assert!(s.worker_pool().is_none());
+        let (out, _) = s.run_sql(JOIN_SQL).unwrap();
+        assert!(!out.relation.is_empty());
+    }
 
     #[test]
     fn open_validates_configuration() {

@@ -48,7 +48,7 @@ fn quickstart_flow() {
     assert_eq!(stats.tuple_vertices, 7);
     assert!(stats.attr_vertices > 0 && stats.edges > 0);
 
-    let exec = TagJoinExecutor::new(&tag, EngineConfig::default());
+    let exec = TagJoinExecutor::new(&tag, EngineConfig::with_threads(4));
     let out = exec
         .run_sql(
             "SELECT n.n_name, COUNT(*) AS customers, SUM(c.c_acctbal) AS balance \
@@ -76,7 +76,7 @@ fn distributed_cluster_flow() {
     let mut tag_wins_a_join_query = false;
     for q in tpch::queries() {
         let a = analyze(&parse(q.sql).unwrap(), tag.schemas()).unwrap();
-        let (out, net) = tag_distributed(&tag, &a, 6, EngineConfig::default())
+        let (out, net) = tag_distributed(&tag, &a, 6, EngineConfig::with_threads(4))
             .unwrap_or_else(|e| panic!("{}: tag_distributed: {e}", q.id));
         let shuffle = spark.run(&a, &db).unwrap_or_else(|e| panic!("{}: spark: {e}", q.id));
         assert!(net.network_bytes <= out.stats.total_bytes(), "{}", q.id);
