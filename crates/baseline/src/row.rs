@@ -236,14 +236,15 @@ pub fn semi_join(left: Inter, right: &Inter, on: &[(ColId, ColId)], anti: bool) 
     })
 }
 
+/// One join-tree edge for [`yannakakis_reduce`]: `(child, parent, on)` with
+/// `on` the child-to-parent column equalities.
+pub type JoinTreeEdge = (usize, usize, Vec<(ColId, ColId)>);
+
 /// One semi-join reduction pass of Yannakakis' algorithm over a join tree:
 /// children reduce parents bottom-up, then parents reduce children top-down.
 /// `edges` lists `(child, parent, on)` in bottom-up order. Returns the
 /// reduced relations.
-pub fn yannakakis_reduce(
-    mut rels: Vec<Inter>,
-    edges: &[(usize, usize, Vec<(ColId, ColId)>)],
-) -> Result<Vec<Inter>> {
+pub fn yannakakis_reduce(mut rels: Vec<Inter>, edges: &[JoinTreeEdge]) -> Result<Vec<Inter>> {
     // Bottom-up: parent ⋉ child.
     for (child, parent, on) in edges {
         let flipped: Vec<(ColId, ColId)> = on.iter().map(|&(c, p)| (p, c)).collect();

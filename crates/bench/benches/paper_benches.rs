@@ -2,12 +2,12 @@
 //! numbers are machine-specific; the `repro` binary prints the full
 //! paper-shaped tables. These groups track regressions on the hot paths:
 //!
-//! * `tpch`   — representative TPC-H-shaped queries across all four engines
-//!              (Fig 13(a) family);
-//! * `tpcds`  — representative TPC-DS-shaped queries (Fig 13(b) family);
+//! * `tpch` — representative TPC-H-shaped queries across all four engines
+//!   (Fig 13(a) family);
+//! * `tpcds` — representative TPC-DS-shaped queries (Fig 13(b) family);
 //! * `twoway` — the Section 4 two-way join protocol;
 //! * `cycles` — vanilla vs heavy/light triangle counting (Section 6.1.2);
-//! * `loading`— TAG construction vs row+index loading (Tables 1-2).
+//! * `loading` — TAG construction vs row+index loading (Tables 1-2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;

@@ -67,7 +67,8 @@ impl Loaded {
 /// cheap until their first fan-out, so keeping one per distinct thread
 /// count for the process lifetime costs nothing at rest.
 pub fn shared_pool(threads: usize) -> Arc<WorkerPool> {
-    static POOLS: OnceLock<Mutex<Vec<(usize, Arc<WorkerPool>)>>> = OnceLock::new();
+    type PoolSlot = (usize, Arc<WorkerPool>);
+    static POOLS: OnceLock<Mutex<Vec<PoolSlot>>> = OnceLock::new();
     let pools = POOLS.get_or_init(|| Mutex::new(Vec::new()));
     let mut pools = pools.lock().unwrap_or_else(|e| e.into_inner());
     if let Some((_, pool)) = pools.iter().find(|(t, _)| *t == threads) {

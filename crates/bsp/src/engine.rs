@@ -237,19 +237,85 @@ impl<'p, M: Message> Outbox<'p, M> {
 /// Every index is written by at most one worker per phase: compute workers own
 /// the vertices of their chunk of the (deduplicated) active list; delivery
 /// workers own the inboxes of `target % shards == shard`.
-struct SharedMut<T>(*mut T);
+///
+/// In debug builds the invariant is also *checked*: every [`SharedMut::get`]
+/// records which thread claimed the index, and a second thread claiming the
+/// same index panics instead of racing. Phases re-partition ownership behind
+/// the pool's epoch barrier, so the engine calls [`SharedMut::reset_claims`]
+/// at the phase boundary.
+struct SharedMut<T> {
+    ptr: *mut T,
+    /// Debug-build shadow of the invariant: index -> first claiming thread
+    /// since the last phase boundary.
+    #[cfg(debug_assertions)]
+    claims: std::sync::Mutex<std::collections::HashMap<usize, std::thread::ThreadId>>,
+}
+
+// SAFETY: `SharedMut` hands out `&mut T` across threads, which is sound only
+// under the type's disjoint-index invariant; given that, it is equivalent to
+// partitioning one `&mut [T]` into per-worker sub-slices, so `T: Send`
+// suffices for both bounds.
 unsafe impl<T: Send> Send for SharedMut<T> {}
+// SAFETY: as above — shared handles never produce aliasing `&mut T` because
+// each index belongs to exactly one worker per phase.
 unsafe impl<T: Send> Sync for SharedMut<T> {}
 
 impl<T> SharedMut<T> {
+    fn new(ptr: *mut T) -> SharedMut<T> {
+        SharedMut {
+            ptr,
+            #[cfg(debug_assertions)]
+            claims: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
     /// # Safety
     /// Caller must uphold the disjoint-index invariant described on the type.
+    //
+    // `&mut` out of `&self` is the point of this type (clippy::mut_from_ref):
+    // exclusivity is provided by the disjoint-index protocol — enforced
+    // dynamically in debug builds by `record_claim` — not the borrow checker.
     #[allow(clippy::mut_from_ref)]
     #[inline]
     unsafe fn get(&self, index: usize) -> &mut T {
-        &mut *self.0.add(index)
+        #[cfg(debug_assertions)]
+        self.record_claim(index);
+        // SAFETY: forwarded to the caller, who owns `index` this phase; the
+        // pointee outlives the wrapper (it borrows the engine's Vec).
+        unsafe { &mut *self.ptr.add(index) }
+    }
+
+    /// Debug-build disjointness check: the first claim owns the index until
+    /// the next [`SharedMut::reset_claims`]; a claim from any other thread is
+    /// exactly the data race the `# Safety` contract forbids, caught before
+    /// the aliasing `&mut` is created.
+    #[cfg(debug_assertions)]
+    fn record_claim(&self, index: usize) {
+        let me = std::thread::current().id();
+        let mut claims = self.claims.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(owner) = claims.insert(index, me) {
+            assert!(
+                owner == me,
+                "SharedMut disjointness violated: index {index} claimed by \
+                 {owner:?} and {me:?} in the same phase"
+            );
+        }
+    }
+
+    /// Forget recorded claims at a phase boundary (debug builds only). Sound
+    /// because phases are separated by the pool's epoch barrier: no worker
+    /// still holds a reference from the previous phase when ownership
+    /// re-partitions.
+    #[cfg(debug_assertions)]
+    fn reset_claims(&self) {
+        self.claims.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
+
+/// One buffer per delivery shard, as handed to a single compute worker's
+/// outbox (shard `s` collects the messages this worker sends to targets with
+/// `target % shards == s`).
+type ShardSet<M> = Vec<Vec<(VertexId, M)>>;
 
 /// Shrink a recycled (drained) shard buffer whose capacity dwarfs its last
 /// use, so the buffer pool's memory high-water decays after a peak
@@ -486,8 +552,8 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
             set
         };
 
-        let states = SharedMut(self.states.as_mut_ptr());
-        let inboxes = SharedMut(self.inboxes.as_mut_ptr());
+        let states = SharedMut::new(self.states.as_mut_ptr());
+        let inboxes = SharedMut::new(self.inboxes.as_mut_ptr());
         let graph = self.graph;
         let partitioning = self.partitioning.as_deref();
 
@@ -519,12 +585,12 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
             // Per-worker input buffers and output slots, written through
             // `SharedMut` — the pool runs every worker index exactly once
             // per epoch, so index `w` is touched by one thread only.
-            let mut worker_bufs: Vec<Option<Vec<Vec<(VertexId, M)>>>> =
+            let mut worker_bufs: Vec<Option<ShardSet<M>>> =
                 (0..workers).map(|_| Some(take_shard_set(&mut buf_pool))).collect();
             let mut slots: Vec<Option<(Outbox<'_, M>, G)>> = Vec::new();
             slots.resize_with(workers, || None);
-            let bufs_ptr = SharedMut(worker_bufs.as_mut_ptr());
-            let slots_ptr = SharedMut(slots.as_mut_ptr());
+            let bufs_ptr = SharedMut::new(worker_bufs.as_mut_ptr());
+            let slots_ptr = SharedMut::new(slots.as_mut_ptr());
             pool_ref.run(workers, &|w| {
                 // SAFETY: one epoch runs index `w` once — disjoint slots.
                 let bufs = unsafe { bufs_ptr.get(w) }.take().expect("worker buffers set");
@@ -580,6 +646,11 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
         // shrunk first when their capacity dwarfs this step's use.
         let mut newly_active: Vec<Vec<VertexId>> = Vec::new();
         if step.messages > 0 {
+            // Phase boundary: inbox ownership switches from active-list
+            // chunks (compute) to `v % shards` (delivery) behind the epoch
+            // barrier above, so compute-phase claims must not carry over.
+            #[cfg(debug_assertions)]
+            inboxes.reset_claims();
             let inboxes_ref = &inboxes;
             // Transpose to per-shard groups, preserving worker order within
             // each group (the determinism invariant above).
@@ -588,8 +659,8 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
                 .collect();
             let mut woken_slots: Vec<Option<Vec<VertexId>>> = Vec::new();
             woken_slots.resize_with(shards, || None);
-            let groups_ptr = SharedMut(groups.as_mut_ptr());
-            let woken_ptr = SharedMut(woken_slots.as_mut_ptr());
+            let groups_ptr = SharedMut::new(groups.as_mut_ptr());
+            let woken_ptr = SharedMut::new(woken_slots.as_mut_ptr());
             let deliver = |s: usize| {
                 // SAFETY: one epoch runs shard `s` once — disjoint slots.
                 let group = unsafe { groups_ptr.get(s) };
@@ -654,6 +725,43 @@ impl<'g, V: Send, M: Message> Computation<'g, V, M> {
 mod tests {
     use super::*;
     use crate::graph::GraphBuilder;
+
+    /// The dynamic checker rejects two threads claiming the same index: the
+    /// pool runs both workers through `get(0)`, and whichever claims second
+    /// must panic before its `&mut` is created (re-raised by `run`).
+    #[cfg(debug_assertions)]
+    #[test]
+    fn shared_mut_overlapping_claims_panic() {
+        let mut data = vec![0usize; 4];
+        let shared = SharedMut::new(data.as_mut_ptr());
+        let pool = WorkerPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(2, &|_| {
+                // SAFETY: deliberately violated — both workers claim index 0
+                // so the debug checker must fire (that is the test).
+                *unsafe { shared.get(0) } += 1;
+            });
+        }));
+        assert!(r.is_err(), "overlapping SharedMut claims must panic in debug builds");
+    }
+
+    /// Disjoint claims pass, and `reset_claims` lets a later phase
+    /// re-partition the same indices across different threads.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn shared_mut_disjoint_claims_pass_across_phases() {
+        let mut data = vec![0usize; 2];
+        let shared = SharedMut::new(data.as_mut_ptr());
+        let pool = WorkerPool::new(2);
+        // SAFETY: worker `w` touches only index `w` — disjoint.
+        pool.run(2, &|w| *unsafe { shared.get(w) } += 1);
+        // Phase boundary behind the epoch barrier: ownership swaps.
+        shared.reset_claims();
+        // SAFETY: worker `w` touches only index `1 - w` — still disjoint.
+        pool.run(2, &|w| *unsafe { shared.get(1 - w) } += 1);
+        drop(shared);
+        assert_eq!(data, vec![2, 2]);
+    }
 
     /// A line graph 0 - 1 - 2 - ... - (n-1) with one edge label.
     fn line(n: usize) -> Graph {

@@ -36,6 +36,7 @@ pub mod partition;
 pub mod pool;
 pub mod program;
 pub mod stats;
+pub mod sync;
 
 pub use engine::{Computation, EngineConfig, Outbox, VertexCtx, DEFAULT_PARALLEL_THRESHOLD};
 pub use graph::{Edge, Graph, GraphBuilder, VertexId};

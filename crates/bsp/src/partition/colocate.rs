@@ -94,15 +94,15 @@ pub(super) fn co_locate_with(
                 continue;
             }
             let w = weights.weight(graph, v, e);
-            if w > 0.0 && scored.map_or(true, |(st, sw)| w > sw || (w == sw && e.target < st)) {
+            if w > 0.0 && scored.is_none_or(|(st, sw)| w > sw || (w == sw && e.target < st)) {
                 scored = Some((e.target, w));
             }
             let d = graph.degree(e.target);
             if d <= theta {
-                if light.map_or(true, |(bt, bd)| d > bd || (d == bd && e.target < bt)) {
+                if light.is_none_or(|(bt, bd)| d > bd || (d == bd && e.target < bt)) {
                     light = Some((e.target, d));
                 }
-            } else if lightest.map_or(true, |(lt, ld)| d < ld || (d == ld && e.target < lt)) {
+            } else if lightest.is_none_or(|(lt, ld)| d < ld || (d == ld && e.target < lt)) {
                 lightest = Some((e.target, d));
             }
         }

@@ -27,10 +27,11 @@
 //! recorded, and re-raised on the caller after the barrier), so the closure —
 //! and everything it borrows from the caller's stack — outlives every use.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
 /// A type-erased `&dyn Fn(usize)` that can cross the worker channel. The
 /// epoch barrier in [`WorkerPool::run`] guarantees the pointee outlives
@@ -38,6 +39,8 @@ use std::thread::JoinHandle;
 #[derive(Clone, Copy)]
 struct Job {
     data: *const (),
+    // SAFETY: calling requires `data` to still point at the closure it was
+    // erased from — guaranteed between dispatch and the epoch barrier.
     call: unsafe fn(*const (), usize),
 }
 
@@ -47,6 +50,8 @@ struct Job {
 unsafe impl Send for Job {}
 
 fn erase<F: Fn(usize) + Sync>(f: &F) -> Job {
+    // SAFETY contract: `data` must be the `&F` this `Job` was erased from,
+    // still live — upheld by the epoch barrier in `WorkerPool::run`.
     unsafe fn call<F: Fn(usize)>(data: *const (), worker: usize) {
         // SAFETY: `data` came from `erase(&F)` this epoch; the caller keeps
         // the closure alive until the epoch's barrier.
@@ -161,7 +166,7 @@ impl WorkerPool {
         }
         for index in 1..self.threads {
             let shared = Arc::clone(&self.shared);
-            let handle = std::thread::Builder::new()
+            let handle = crate::sync::thread::Builder::new()
                 .name(format!("vcsql-bsp-worker-{index}"))
                 .spawn(move || worker_loop(&shared, index))
                 .expect("worker thread spawns");

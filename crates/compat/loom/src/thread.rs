@@ -1,0 +1,156 @@
+//! Shadow of [`std::thread`]: controlled model threads inside a
+//! [`crate::model`] execution, plain `std` threads outside one.
+
+use crate::{current_ctx, spawn_controlled, Ctx, Status};
+use std::sync::Arc;
+
+/// Result of joining a thread (shadow of [`std::thread::Result`]).
+pub type Result<T> = std::thread::Result<T>;
+
+/// Where a spawned thread's outcome is parked until `join`.
+type ResultSlot<T> = Arc<std::sync::Mutex<Option<Result<T>>>>;
+
+enum Handle<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        ctx: Ctx,
+        /// The spawned thread's model id (what `join` blocks on).
+        target: usize,
+        slot: ResultSlot<T>,
+    },
+}
+
+/// Owned permission to join a thread (shadow of [`std::thread::JoinHandle`]).
+pub struct JoinHandle<T> {
+    inner: Handle<T>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value (or its panic
+    /// payload). In model mode the wait is a forced scheduling switch, so
+    /// joining costs no preemption budget.
+    pub fn join(self) -> Result<T> {
+        match self.inner {
+            Handle::Std(h) => h.join(),
+            Handle::Model { ctx: spawn_ctx, target, slot } => {
+                // The joiner is whoever calls `join` — not necessarily the
+                // spawner (the pool spawns workers from one caller thread and
+                // joins them from `Drop` on another). Using the spawner's id
+                // here would make the scheduler wait for a thread that is not
+                // actually at this yield point, wedging the whole execution.
+                let ctx = current_ctx()
+                    .expect("a model thread handle was joined from outside its model execution");
+                assert!(
+                    Arc::ptr_eq(&ctx.exec, &spawn_ctx.exec),
+                    "a model thread handle leaked across model executions"
+                );
+                {
+                    let st = ctx.exec.lock();
+                    if st.abandoned {
+                        drop(st);
+                        std::panic::panic_any(crate::AbandonToken);
+                    }
+                    let mut st = ctx.exec.yield_point(st, ctx.tid);
+                    if st.status[target] != Status::Finished {
+                        st.status[ctx.tid] = Status::BlockedJoin(target);
+                        st = ctx.exec.block(st, ctx.tid);
+                    }
+                    drop(st);
+                }
+                // The target stored its result before its finish hand-off.
+                slot.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("finished model thread left a result")
+            }
+        }
+    }
+}
+
+/// Configures a new thread before spawning (shadow of
+/// [`std::thread::Builder`]).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// New builder with default settings.
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    /// Name the thread (used by the std fallback; model threads are named
+    /// by their model id).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawn a thread running `f`. Inside a model execution the new thread
+    /// is a controlled model thread and the spawn is a yield point (the
+    /// child may be scheduled before the parent continues).
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match current_ctx() {
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(name) = self.name {
+                    b = b.name(name);
+                }
+                b.spawn(f).map(|h| JoinHandle { inner: Handle::Std(h) })
+            }
+            Some(ctx) => {
+                let slot: ResultSlot<T> = Arc::new(std::sync::Mutex::new(None));
+                let slot2 = Arc::clone(&slot);
+                let target = {
+                    let mut st = ctx.exec.lock();
+                    if st.abandoned {
+                        drop(st);
+                        std::panic::panic_any(crate::AbandonToken);
+                    }
+                    let target = ctx.exec.register(&mut st);
+                    let os = spawn_controlled(Arc::clone(&ctx.exec), target, move || {
+                        // The controlled wrapper catches panics *outside*
+                        // this body; catching here too lets us hand the
+                        // payload to `join` exactly like std.
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                        let is_abandon =
+                            r.as_ref().err().is_some_and(|p| p.is::<crate::AbandonToken>());
+                        *slot2.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+                        if is_abandon {
+                            // Keep unwinding so the wrapper knows not to
+                            // schedule a hand-off.
+                            std::panic::panic_any(crate::AbandonToken);
+                        }
+                    });
+                    st.os_handles[target] = Some(os);
+                    // Spawning is a visible operation: give the scheduler
+                    // the chance to run the child (or anyone) first.
+                    let st = ctx.exec.yield_point(st, ctx.tid);
+                    drop(st);
+                    target
+                };
+                Ok(JoinHandle { inner: Handle::Model { ctx, target, slot } })
+            }
+        }
+    }
+}
+
+/// Spawn a thread (shadow of [`std::thread::spawn`]).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("thread spawns")
+}

@@ -513,7 +513,7 @@ impl<'t> TagJoinExecutor<'t> {
                     let mut received: Vec<(Box<[Value]>, Partial)> = Vec::new();
                     for m in ctx.messages() {
                         if let TagMsg::Partial(kp) = m {
-                            received.push(((**kp).0.clone(), (**kp).1.clone()));
+                            received.push((kp.0.clone(), kp.1.clone()));
                         }
                     }
                     if received.is_empty() {
@@ -909,7 +909,7 @@ impl<'a> QueryCtx<'a> {
         // A table's value row carries: a Var key for each join variable
         // occurring in it, plus Plain keys for needed non-join columns.
         let mut own_specs: Vec<Vec<(ColKey, usize)>> = Vec::with_capacity(n);
-        for t in 0..n {
+        for (t, needed_cols) in needed.iter().enumerate() {
             let mut spec: Vec<(ColKey, usize)> = Vec::new();
             // Every occurrence of a variable in this table is listed: when a
             // variable occurs in several columns of one tuple (equalities
@@ -923,7 +923,7 @@ impl<'a> QueryCtx<'a> {
                     }
                 }
             }
-            for &c in &needed[t] {
+            for &c in needed_cols {
                 if !var_of.contains_key(&(t, c)) {
                     spec.push((ColKey::Col { table: t as u16, col: c as u16 }, c));
                 }
@@ -1109,7 +1109,7 @@ impl<'a> QueryCtx<'a> {
         let having_args: Vec<Option<BoundExpr>> = a
             .having
             .iter()
-            .map(|h| h.arg.as_ref().map(|e| bind_final(e)).transpose())
+            .map(|h| h.arg.as_ref().map(&bind_final).transpose())
             .collect::<Result<_>>()?;
         let having_rhs: Vec<BoundExpr> =
             a.having.iter().map(|h| bind_final(&h.rhs)).collect::<Result<_>>()?;

@@ -90,7 +90,9 @@ fn warehouse() -> Database {
     .with_primary_key(&["o_orderkey"])
     .with_foreign_key(&["o_custkey"], "customer", &["c_custkey"]);
     let mut o = Relation::empty(orders);
-    let orders_data: Vec<(i64, i64, (i32, u32, u32), f64, &str)> = vec![
+    // (orderkey, custkey, (y, m, d), totalprice, priority)
+    type OrderRow = (i64, i64, (i32, u32, u32), f64, &'static str);
+    let orders_data: Vec<OrderRow> = vec![
         (1, 100, (1995, 1, 10), 100.0, "HIGH"),
         (2, 100, (1995, 3, 4), 55.5, "LOW"),
         (3, 101, (1996, 7, 19), 220.0, "HIGH"),

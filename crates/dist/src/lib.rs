@@ -87,22 +87,26 @@ pub fn tag_calibrate(
     Ok(profile)
 }
 
+/// What a calibrate-then-measure run produces: the traffic profile observed
+/// during calibration, the workload-aware partitioning built from it, and
+/// each measured query's output with its network-traffic share.
+pub type ProfiledRun = (TrafficProfile, Partitioning, Vec<(ExecOutput, NetStats)>);
+
 /// Phase 2 of the workload-aware loop: calibrate on `calibrate_on`, build a
 /// [`PartitionStrategy::Workload`] partitioning from the observed profile,
 /// and execute every query of `measure` under it. Returns the profile, the
-/// partitioning it produced, and the per-query outputs.
+/// partitioning it produced, and the per-query outputs as a [`ProfiledRun`].
 ///
 /// Calibrating and measuring the *same* workload demonstrates the gain;
 /// passing a different calibration workload demonstrates skew sensitivity
 /// (a mis-profiled placement decays toward the static `Refined` one).
-#[allow(clippy::type_complexity)]
 pub fn tag_profiled(
     tag: &TagGraph,
     calibrate_on: &[Analyzed],
     measure: &[Analyzed],
     machines: usize,
     config: EngineConfig,
-) -> Result<(TrafficProfile, Partitioning, Vec<(ExecOutput, NetStats)>)> {
+) -> Result<ProfiledRun> {
     let profile = tag_calibrate(tag, calibrate_on, machines, config)?;
     let strategy = PartitionStrategy::Workload(profile.clone());
     let partitioning = tag_partitioning(tag, machines, &strategy);

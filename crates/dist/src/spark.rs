@@ -22,6 +22,9 @@ use vcsql_relation::{Database, FxHashMap, FxHashSet, RelError, Value};
 
 type Result<T> = std::result::Result<T, RelError>;
 
+/// One equi-join equality: `(left (table, col), right (table, col))`.
+type EquiKey = ((usize, usize), (usize, usize));
+
 /// Cluster parameters of the modelled Spark deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SparkModel {
@@ -115,8 +118,7 @@ impl SparkModel {
         // connected to the current intermediate by at least one equi-join
         // predicate; disconnected tables come last as cartesian products.
         let mut current = scans.remove(0);
-        let mut remaining: Vec<(usize, Inter)> =
-            (1..a.tables.len()).zip(scans.into_iter()).collect();
+        let mut remaining: Vec<(usize, Inter)> = (1..a.tables.len()).zip(scans).collect();
         let mut residual_applied = vec![false; a.residual.len()];
 
         while !remaining.is_empty() {
@@ -221,7 +223,7 @@ impl SparkModel {
         &self,
         left: Inter,
         right: Inter,
-        keys: &[((usize, usize), (usize, usize))],
+        keys: &[EquiKey],
         canon: &FxHashMap<(usize, usize), (usize, usize)>,
         net: &mut NetStats,
     ) -> Inter {
@@ -344,7 +346,7 @@ fn scan(a: &Analyzed, db: &Database, t: usize, binding: &TableBinding) -> Result
 
 /// In-memory hash join (cross product when `keys` is empty). NULL keys never
 /// match, per SQL semantics.
-fn hash_join(left: &Inter, right: &Inter, keys: &[((usize, usize), (usize, usize))]) -> Inter {
+fn hash_join(left: &Inter, right: &Inter, keys: &[EquiKey]) -> Inter {
     let out_cols: Vec<(usize, usize)> =
         left.cols.iter().chain(right.cols.iter()).copied().collect();
     let mut out = Inter {

@@ -129,7 +129,7 @@ impl Parser {
             items.push(self.select_item()?);
         }
         self.expect_keyword("FROM")?;
-        let (from, joins) = self.from_clause()?;
+        let (from, joins) = self.parse_from_clause()?;
         let where_clause = if self.eat_keyword("WHERE") { Some(self.qexpr()?) } else { None };
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
@@ -227,7 +227,7 @@ impl Parser {
         Ok(None)
     }
 
-    fn from_clause(&mut self) -> Result<(Vec<TableRef>, Vec<JoinSpec>), RelError> {
+    fn parse_from_clause(&mut self) -> Result<(Vec<TableRef>, Vec<JoinSpec>), RelError> {
         let mut from = Vec::new();
         let mut joins = Vec::new();
         loop {

@@ -98,7 +98,7 @@ impl Accumulator {
             },
             Accumulator::Min(cur) => {
                 if !v.is_null()
-                    && cur.as_ref().map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Less))
+                    && cur.as_ref().is_none_or(|c| v.sql_cmp(c) == Some(std::cmp::Ordering::Less))
                 {
                     *cur = Some(v.clone());
                 }
@@ -107,7 +107,7 @@ impl Accumulator {
                 if !v.is_null()
                     && cur
                         .as_ref()
-                        .map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
+                        .is_none_or(|c| v.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
                 {
                     *cur = Some(v.clone());
                 }
@@ -156,15 +156,14 @@ impl Accumulator {
             }
             (Accumulator::Min(a), Accumulator::Min(b)) => {
                 if let Some(v) = b {
-                    if a.as_ref().map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Less)) {
+                    if a.as_ref().is_none_or(|c| v.sql_cmp(c) == Some(std::cmp::Ordering::Less)) {
                         *a = Some(v.clone());
                     }
                 }
             }
             (Accumulator::Max(a), Accumulator::Max(b)) => {
                 if let Some(v) = b {
-                    if a.as_ref()
-                        .map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
+                    if a.as_ref().is_none_or(|c| v.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
                     {
                         *a = Some(v.clone());
                     }

@@ -71,7 +71,7 @@ impl MaterializePolicy {
     fn value_allowed(&self, v: &Value) -> bool {
         match v {
             Value::Null => false, // NULL never joins; no vertex for it
-            Value::Str(s) => self.max_string_len.map_or(true, |m| s.len() <= m),
+            Value::Str(s) => self.max_string_len.is_none_or(|m| s.len() <= m),
             _ => true,
         }
     }

@@ -176,7 +176,7 @@ pub fn generate(sf: f64, seed: u64) -> Database {
     let mut date_dim = Relation::empty(schema("date_dim"));
     let start = Date::from_ymd(1999, 1, 1);
     for k in 0..n_dates {
-        let d = start.add_days(k as i32);
+        let d = start.add_days(k);
         let (y, m, _) = d.to_ymd();
         date_dim
             .push(Tuple::new(vec![

@@ -88,7 +88,11 @@ fn bipartite_graph(tuples: usize, attrs: usize, edges: &[(usize, usize)]) -> Gra
     for &(t, a) in edges {
         let t = t % tuples;
         let a = tuples + (a % attrs);
-        b.add_undirected_edge(t as VertexId, a as VertexId, if t % 2 == 0 { er } else { es });
+        b.add_undirected_edge(
+            t as VertexId,
+            a as VertexId,
+            if t.is_multiple_of(2) { er } else { es },
+        );
     }
     b.finish()
 }

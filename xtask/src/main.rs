@@ -1,0 +1,3 @@
+fn main() {
+    xtask::cli_main();
+}
