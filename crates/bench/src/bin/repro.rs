@@ -3,8 +3,8 @@
 //! Usage: `cargo run --release -p vcsql-bench --bin repro -- <mode>
 //!         [--sf a,b,c] [--partitioning hash,colocate,refined,workload]
 //!         [--profile-from tpch|tpcds] [--bandwidth bytes_per_sec]
-//!         [--sessions n] [--migration-budget n] [--threads n]
-//!         [--json path]`
+//!         [--sessions n] [--restart-at k] [--migration-budget n]
+//!         [--tenants n] [--qps q] [--threads n] [--json path]`
 //!
 //! Modes (see DESIGN.md experiment index):
 //!   loading         Tables 1-2: data loading times
@@ -18,7 +18,10 @@
 //!   memory          Table 7: working-set bytes per engine
 //!   distributed     Fig 16 + Tables 16-17: runtime + network traffic;
 //!                   with --sessions n: the online-repartitioning drift
-//!                   replay (TPC-H profile, then TPC-DS queries arrive)
+//!                   replay (TPC-H profile, then TPC-DS queries arrive);
+//!                   --restart-at k additionally restarts the session
+//!                   mid-replay, comparing a warm start (saved profile
+//!                   reloaded) against a cold start from scratch
 //!   cost-model      §4.1.2 ablation: two-way join messages vs bounds
 //!   triangle-theta  §6.1.2 ablation: heavy/light θ sweep
 //!   reshuffle       §5.2.2 ablation: reshuffle bytes vs join-chain length
@@ -28,9 +31,17 @@
 //!                   gates the run against a committed baseline, exiting
 //!                   nonzero when totals parallel_speedup regresses beyond
 //!                   --tolerance
-//!   all             everything above (except bench)
+//!   serve           multi-tenant serving bench: --tenants concurrent
+//!                   sessions over one shared TAG, closed loop at --qps per
+//!                   tenant, arbitrated vs unilateral vs static
+//!                   repartitioning, per-tenant p50/p95 modelled latency,
+//!                   plan-cache hit rate, migration bytes and fairness vs
+//!                   solo-refined baselines; --json writes the
+//!                   vcsql-serve-report/v1 document
+//!   all             everything above (except bench and serve)
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use vcsql_bench::{markdown_table, ms, prepare, run_system_with, speedup, time, Loaded, System};
 use vcsql_bsp::{EngineConfig, PartitionStrategy, TrafficProfile};
 use vcsql_core::cyclic;
@@ -40,6 +51,7 @@ use vcsql_query::analyze::Analyzed;
 use vcsql_query::AggClass;
 use vcsql_relation::mem::human_bytes;
 use vcsql_relation::Database;
+use vcsql_server::{Arbitration, QueryServer, ServerConfig, TenantSession};
 use vcsql_session::Cluster;
 use vcsql_tag::TagGraph;
 use vcsql_workload::{synthetic, tpcds, tpch, BenchQuery};
@@ -47,13 +59,14 @@ use vcsql_workload::{synthetic, tpcds, tpch, BenchQuery};
 const USAGE: &str = "\
 usage: repro <mode> [--sf a,b,c] [--partitioning hash,colocate,refined,workload]
              [--profile-from tpch|tpcds] [--bandwidth bytes_per_sec]
-             [--sessions n] [--migration-budget n] [--threads n] [--json path]
+             [--sessions n] [--restart-at k] [--migration-budget n]
+             [--tenants n] [--qps q] [--threads n] [--json path]
              [--compare path] [--tolerance f]
 
 modes:
   loading sizes tpch tpcds tpch-classes tpcds-matrix tpcds-classes
   agg-breakdown memory distributed cost-model triangle-theta reshuffle
-  bench all
+  bench serve all
 
 flags:
   --sf a,b,c             comma-separated positive scale factors
@@ -68,7 +81,8 @@ flags:
                          workload being measured; crossing them shows how
                          skew-sensitive the placement is)
   --bandwidth n          modelled network bandwidth in bytes/sec for the
-                         distributed runtime model (default 1e9)
+                         distributed (and `serve` latency) runtime model
+                         (default 1e9)
   --sessions n           `distributed` only: instead of the per-strategy
                          table, replay n session queries through one
                          long-lived Session — a shuffled TPC-H phase, then a
@@ -77,16 +91,30 @@ flags:
                          bytes-per-query before/after the session's online
                          repartitioning (n must be positive; migration
                          bytes are itemized per query)
+  --restart-at k         `distributed --sessions` only: restart the session
+                         before replay query k (so k queries run first;
+                         0 < k < n), replacing it with a warm successor that
+                         reloads its saved profile text, and racing a cold
+                         twin that recalibrates from scratch over the
+                         remaining queries
   --migration-budget n   most vertices the session migrates per query while
                          adapting (default 2048; must be positive; requires
                          --sessions)
+  --tenants n            `serve` only: concurrent tenant sessions over the
+                         shared TAG (default 8); even tenants run TPC-H
+                         joins, odd tenants TPC-DS
+  --qps q                `serve` only: per-tenant offered query rate of the
+                         closed-loop pacing model (default 8; per-query
+                         latency = queueing behind the tenant's previous
+                         query + modelled service time at --bandwidth)
   --threads n            engine worker threads for the TAG side of the
                          per-query runtime modes (tpch, tpcds, tpch-classes,
                          tpcds-matrix, tpcds-classes, agg-breakdown, bench,
                          all); for `bench` this is the multi-thread arm
                          (default: the machine's parallelism, capped at 16)
-  --json path            `bench` only: also write the per-query timings as
-                         machine-readable JSON to `path`
+  --json path            `bench`/`serve`: also write the machine-readable
+                         report (trajectory timings or the serve report) to
+                         `path`
   --compare path         `bench` only: compare this run's totals
                          parallel_speedup against a committed trajectory
                          baseline (a BENCH_*.json file) and exit nonzero if
@@ -159,6 +187,13 @@ fn parse_tolerance(raw: &str) -> f64 {
     }
 }
 
+fn parse_qps(raw: &str) -> f64 {
+    match raw.parse::<f64>() {
+        Ok(q) if q.is_finite() && q > 0.0 => q,
+        _ => usage_error(&format!("bad --qps value `{raw}` (want a positive query rate)")),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<String> = None;
@@ -166,8 +201,12 @@ fn main() {
     let mut strategies = PartitionStrategy::ALL.to_vec();
     let mut profile_from: Option<String> = None;
     let mut bandwidth = 1e9;
+    let mut bandwidth_explicit = false;
     let mut sessions: Option<usize> = None;
+    let mut restart_at: Option<usize> = None;
     let mut migration_budget: Option<usize> = None;
+    let mut tenants: Option<usize> = None;
+    let mut qps: Option<f64> = None;
     let mut threads: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let mut compare_path: Option<String> = None;
@@ -205,13 +244,29 @@ fn main() {
                 let raw =
                     args.get(i + 1).unwrap_or_else(|| usage_error("--bandwidth needs a value"));
                 bandwidth = parse_bandwidth(raw);
-                distributed_flag = Some("--bandwidth");
+                bandwidth_explicit = true;
                 i += 2;
             }
             "--sessions" => {
                 let raw =
                     args.get(i + 1).unwrap_or_else(|| usage_error("--sessions needs a value"));
                 sessions = Some(parse_positive(raw, "--sessions"));
+                i += 2;
+            }
+            "--restart-at" => {
+                let raw =
+                    args.get(i + 1).unwrap_or_else(|| usage_error("--restart-at needs a value"));
+                restart_at = Some(parse_positive(raw, "--restart-at"));
+                i += 2;
+            }
+            "--tenants" => {
+                let raw = args.get(i + 1).unwrap_or_else(|| usage_error("--tenants needs a value"));
+                tenants = Some(parse_positive(raw, "--tenants"));
+                i += 2;
+            }
+            "--qps" => {
+                let raw = args.get(i + 1).unwrap_or_else(|| usage_error("--qps needs a value"));
+                qps = Some(parse_qps(raw));
                 i += 2;
             }
             "--migration-budget" => {
@@ -261,6 +316,11 @@ fn main() {
             usage_error(&format!("{flag} only applies to the `distributed` (or `all`) mode"));
         }
     }
+    // `serve` models per-query latency at the same bandwidth, so it shares
+    // the flag with the distributed modes.
+    if bandwidth_explicit && !matches!(mode.as_str(), "distributed" | "serve" | "all") {
+        usage_error("--bandwidth only applies to the `distributed`, `serve` (or `all`) modes");
+    }
     if profile_from.is_some()
         && !strategies.iter().any(|s| matches!(s, PartitionStrategy::Workload(_)))
     {
@@ -287,6 +347,19 @@ fn main() {
     if migration_budget.is_some() && sessions.is_none() {
         usage_error("--migration-budget requires --sessions");
     }
+    match (restart_at, sessions) {
+        (Some(_), None) => usage_error("--restart-at requires --sessions"),
+        (Some(k), Some(n)) if k >= n => {
+            usage_error("--restart-at must be less than --sessions (queries must remain to replay)")
+        }
+        _ => {}
+    }
+    if tenants.is_some() && mode != "serve" {
+        usage_error("--tenants only applies to the `serve` mode");
+    }
+    if qps.is_some() && mode != "serve" {
+        usage_error("--qps only applies to the `serve` mode");
+    }
     // --threads steers the local TAG engine; reject it for modes that never
     // run one (same no-silent-ignore policy as the distributed flags).
     const THREADED_MODES: [&str; 8] = [
@@ -305,8 +378,8 @@ fn main() {
             THREADED_MODES.join(", ")
         ));
     }
-    if json_path.is_some() && mode != "bench" {
-        usage_error("--json only applies to the `bench` mode");
+    if json_path.is_some() && !matches!(mode.as_str(), "bench" | "serve") {
+        usage_error("--json only applies to the `bench` and `serve` modes");
     }
     if compare_path.is_some() && mode != "bench" {
         usage_error("--compare only applies to the `bench` mode");
@@ -328,13 +401,22 @@ fn main() {
         "agg-breakdown" => agg_breakdown(last_sf, engine),
         "memory" => memory(last_sf),
         "distributed" => match sessions {
-            Some(n) => sessions_replay(last_sf, n, migration_budget.unwrap_or(2048), bandwidth),
+            Some(n) => {
+                sessions_replay(last_sf, n, migration_budget.unwrap_or(2048), bandwidth, restart_at)
+            }
             None => distributed(last_sf, &strategies, profile_from.as_deref(), bandwidth),
         },
         "cost-model" => cost_model(),
         "triangle-theta" => triangle_theta(),
         "reshuffle" => reshuffle(last_sf),
         "bench" => bench_trajectory(last_sf, threads, json_path.as_deref(), compare),
+        "serve" => serve_bench(
+            last_sf,
+            tenants.unwrap_or(8),
+            qps.unwrap_or(8.0),
+            bandwidth,
+            json_path.as_deref(),
+        ),
         "all" => {
             loading(&sfs);
             sizes(&sfs);
@@ -700,7 +782,7 @@ fn distributed(sf: f64, strategies: &[PartitionStrategy], profile_from: Option<&
     for (name, mode) in [("TPC-H", "tpch"), ("TPC-DS", "tpcds")] {
         let (genf, queries) = workload_by_mode(mode);
         let db = genf(sf, SEED);
-        let tag = TagGraph::build(&db);
+        let tag = Arc::new(TagGraph::build(&db));
         let spark = SparkModel::default();
         let cluster = Cluster::new(spark.machines).bandwidth(bw).static_placement();
         let runtime = |secs: f64, net: &vcsql_dist::NetStats| {
@@ -818,7 +900,7 @@ fn shuffle<T>(items: &mut [T], mut seed: u64) {
 /// online repartitioning must recover the workload-profiled traffic ratio
 /// without restarting the run, and every migrated vertex is charged to the
 /// per-query `NetStats` (itemized in the `migration` column).
-fn sessions_replay(sf: f64, n: usize, migration_budget: usize, bw: f64) {
+fn sessions_replay(sf: f64, n: usize, migration_budget: usize, bw: f64, restart_at: Option<usize>) {
     println!(
         "\n## E15 — Session drift replay @ SF {sf}: TPC-H profile, then TPC-DS arrives \
          ({n} queries, migration budget {migration_budget}/query)\n"
@@ -827,7 +909,7 @@ fn sessions_replay(sf: f64, n: usize, migration_budget: usize, bw: f64) {
     for rel in tpcds::generate(sf, SEED).relations() {
         db.add(rel.clone());
     }
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let spark = SparkModel::default();
     let cluster = Cluster::new(spark.machines).bandwidth(bw).migration_budget(migration_budget);
 
@@ -864,13 +946,37 @@ fn sessions_replay(sf: f64, n: usize, migration_budget: usize, bw: f64) {
     let mut tpcds_halves = [(0u64, 0u64); 2]; // (tag bytes, spark bytes) per half
     let mut tpcds_seen = 0usize;
     let tpcds_total = n - phase_len;
-    for &(phase, id, idx) in &replay {
+    // The cold twin raced against the warm restart: (session, warm query
+    // bytes, warm migration bytes, cold query bytes, cold migration bytes).
+    let mut cold_race: Option<(vcsql_session::Session, u64, u64, u64, u64)> = None;
+    for (qi, &(phase, id, idx)) in replay.iter().enumerate() {
+        if restart_at == Some(qi) {
+            // The server restarts mid-replay. The warm successor reloads
+            // the dying session's saved profile text — placement and
+            // accumulated traffic both survive the text round-trip — while
+            // a cold twin recalibrates from scratch exactly as the original
+            // session did at open, and both replay the remaining queries.
+            let saved = session.save_profile();
+            let mut warm = cluster.session(&tag).expect("warm session opens");
+            warm.load_profile(&saved).expect("saved profile round-trips");
+            session = warm;
+            let cold =
+                cluster.calibrated_session(&tag, &tpch_analyzed).expect("cold session opens");
+            cold_race = Some((cold, 0, 0, 0, 0));
+        }
         let (suite, analyzed) = if phase == "tpch" {
             (&tpch_suite, &tpch_analyzed)
         } else {
             (&tpcds_suite, &tpcds_analyzed)
         };
         let (_, net) = session.run_sql(suite[idx].sql).expect("replay query runs");
+        if let Some((cold, warm_b, warm_m, cold_b, cold_m)) = &mut cold_race {
+            let (_, cold_net) = cold.run_sql(suite[idx].sql).expect("cold twin runs");
+            *warm_b += net.network_bytes - net.migration_bytes;
+            *warm_m += net.migration_bytes;
+            *cold_b += cold_net.network_bytes - cold_net.migration_bytes;
+            *cold_m += cold_net.migration_bytes;
+        }
         let spark_net = spark.run(&analyzed[idx], &db).expect("spark model runs");
         let e = phase_bytes.entry(phase).or_default();
         e.0 += net.network_bytes - net.migration_bytes;
@@ -917,10 +1023,24 @@ fn sessions_replay(sf: f64, n: usize, migration_budget: usize, bw: f64) {
     // the main loop already measured — reuse its phase total.
     let self_spark = phase_bytes.get("tpcds").map(|&(_, _, s)| s).unwrap_or(0);
 
+    if let Some((_, warm_b, warm_m, cold_b, cold_m)) = &cold_race {
+        let k = restart_at.expect("cold race implies --restart-at");
+        println!(
+            "restart before query {k}: over the remaining {} queries the warm start \
+             (saved profile reloaded via the text round-trip) shipped {} query bytes + {} \
+             migration; the cold start (recalibrated on tpch from scratch) shipped {} + {}\n",
+            n - k,
+            human_bytes(*warm_b as usize),
+            human_bytes(*warm_m as usize),
+            human_bytes(*cold_b as usize),
+            human_bytes(*cold_m as usize),
+        );
+    }
     let stats = session.stats();
     println!(
-        "session: {} queries | {} adaptations | {} vertices migrated over {} steps | \
+        "session{}: {} queries | {} adaptations | {} vertices migrated over {} steps | \
          migration bytes {} | plan cache {} hits / {} misses",
+        if restart_at.is_some() { " (post-restart)" } else { "" },
         stats.queries,
         stats.adaptations,
         stats.migrated_vertices,
@@ -951,6 +1071,336 @@ fn sessions_replay(sf: f64, n: usize, migration_budget: usize, bw: f64) {
         );
     }
     println!();
+}
+
+/// Rounds of each tenant's mix in the `serve` bench (matches the server
+/// crate's SF 0.01 integration test, so the printed table and the locked-in
+/// assertions describe the same experiment).
+const SERVE_ROUNDS: usize = 6;
+
+/// Conflict-heavy tenant mixes: joins whose traffic the shape-based refined
+/// placement serves poorly (`lineitem` torn between `part` and `orders`,
+/// `store_sales` between `item` and `date_dim`), so the arbitrated
+/// consensus has something real to win — and the two suites contest it.
+const SERVE_TPCH_MIX: [&str; 2] = [
+    "SELECT p.p_name FROM part p, lineitem l WHERE p.p_partkey = l.l_partkey",
+    "SELECT o.o_orderkey FROM customer c, orders o, lineitem l \
+     WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey",
+];
+const SERVE_TPCDS_MIX: [&str; 2] = [
+    "SELECT i.i_itemkey FROM item i, store_sales ss WHERE i.i_itemkey = ss.ss_itemkey",
+    "SELECT d.d_year FROM store_sales ss, date_dim d WHERE ss.ss_datekey = d.d_datekey",
+];
+
+fn serve_mix(tenant: usize) -> (&'static str, &'static [&'static str]) {
+    if tenant.is_multiple_of(2) {
+        ("tpch", &SERVE_TPCH_MIX)
+    } else {
+        ("tpcds", &SERVE_TPCDS_MIX)
+    }
+}
+
+fn serve_config(arbitration: Arbitration) -> ServerConfig {
+    ServerConfig {
+        machines: 4,
+        engine: EngineConfig::sequential(),
+        arbitration,
+        ..ServerConfig::default()
+    }
+}
+
+/// One tenant's share of a serving run.
+struct ServeTenant {
+    suite: &'static str,
+    queries: u64,
+    /// Query traffic only — the migration charge lands on whichever tenant
+    /// happened to trigger the walk, so fairness separates it back out.
+    query_bytes: u64,
+    /// Modelled per-query latencies, sorted ascending.
+    latencies: Vec<f64>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// One arbitration policy's serving run, whole-cluster view.
+struct ServeWorld {
+    /// All bytes shipped (migration included — `NetStats` folds it in).
+    total_bytes: u64,
+    migration_bytes: u64,
+    adaptations: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    admitted: u64,
+    peak_in_flight: usize,
+    tenants: Vec<ServeTenant>,
+}
+
+/// Serve every tenant's mix for [`SERVE_ROUNDS`] rounds under one
+/// arbitration policy. Latency is a closed loop with pacing: arrival `i`
+/// lands at `i/qps` on the tenant's modelled clock, service time is the
+/// modelled distributed runtime of the measured execution, and a query
+/// queues behind the tenant's own previous one — so pushing `--qps` past
+/// what the placement sustains shows up as p95 queueing delay.
+fn serve_world(
+    tag: &Arc<TagGraph>,
+    tenants: usize,
+    qps: f64,
+    bw: f64,
+    arb: Arbitration,
+) -> ServeWorld {
+    let server = QueryServer::start(tag, serve_config(arb)).expect("server starts");
+    let sessions: Vec<TenantSession> = (0..tenants).map(|_| server.open_session()).collect();
+    let mut finish = vec![0.0f64; tenants];
+    let mut issued = vec![0u64; tenants];
+    let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); tenants];
+    for _ in 0..SERVE_ROUNDS {
+        for session in &sessions {
+            let t = session.id();
+            for sql in serve_mix(t).1 {
+                let ((_, net), secs) = time(|| session.run_sql(sql).expect("serve query runs"));
+                let service =
+                    vcsql_dist::modelled_runtime(secs, &net, bw).expect("bandwidth validated");
+                let arrival = issued[t] as f64 / qps;
+                let start = finish[t].max(arrival);
+                finish[t] = start + service;
+                latencies[t].push(finish[t] - arrival);
+                issued[t] += 1;
+            }
+        }
+    }
+    let tenants = sessions
+        .iter()
+        .zip(latencies)
+        .map(|(session, mut lat)| {
+            lat.sort_by(|a, b| a.total_cmp(b));
+            let net = session.stats().net;
+            let cache = session.cache_stats();
+            ServeTenant {
+                suite: serve_mix(session.id()).0,
+                queries: session.stats().queries,
+                query_bytes: net.network_bytes - net.migration_bytes,
+                latencies: lat,
+                cache_hits: cache.hits,
+                cache_misses: cache.misses,
+            }
+        })
+        .collect();
+    let stats = server.stats();
+    let admission = server.admission_stats();
+    ServeWorld {
+        total_bytes: stats.net.network_bytes,
+        migration_bytes: stats.net.migration_bytes,
+        adaptations: stats.adaptations,
+        cache_hits: server.plan_cache().hits(),
+        cache_misses: server.plan_cache().misses(),
+        admitted: admission.admitted,
+        peak_in_flight: admission.peak_in_flight,
+        tenants,
+    }
+}
+
+/// A mix's solo-refined baseline: one tenant, same rounds, static refined
+/// placement all to itself.
+fn serve_solo(tag: &Arc<TagGraph>, mix: &[&str]) -> u64 {
+    let server = QueryServer::start(tag, serve_config(Arbitration::Static)).expect("server starts");
+    let session = server.open_session();
+    for _ in 0..SERVE_ROUNDS {
+        for sql in mix {
+            session.run_sql(sql).expect("solo query runs");
+        }
+    }
+    session.stats().net.network_bytes
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency list, in ms.
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        n => sorted[((n - 1) as f64 * p).round() as usize] * 1000.0,
+    }
+}
+
+/// E16 — the multi-tenant serving bench: `--tenants` sessions over one
+/// shared TAG, even tenants on TPC-H joins and odd on TPC-DS, replayed under
+/// all three arbitration policies. Reports whole-cluster bytes per policy,
+/// then drills into the merged world: per-tenant p50/p95 modelled latency,
+/// plan-cache hit rates, and fairness against each mix's solo-refined
+/// baseline (plus the Jain index over those ratios).
+fn serve_bench(sf: f64, tenants: usize, qps: f64, bw: f64, json_path: Option<&str>) {
+    println!(
+        "\n## E16 — Multi-tenant serving @ SF {sf}: {tenants} tenants, closed loop at \
+         {qps} QPS/tenant, {SERVE_ROUNDS} rounds\n"
+    );
+    let mut db = tpch::generate(sf, SEED);
+    for rel in tpcds::generate(sf, SEED).relations() {
+        db.add(rel.clone());
+    }
+    let tag = Arc::new(TagGraph::build(&db));
+
+    let worlds = [
+        ("merged", Arbitration::Merged),
+        ("unilateral", Arbitration::Unilateral),
+        ("static", Arbitration::Static),
+    ];
+    let runs: Vec<(&str, ServeWorld)> = worlds
+        .iter()
+        .map(|&(name, arb)| (name, serve_world(&tag, tenants, qps, bw, arb)))
+        .collect();
+
+    let hit_rate = |hits: u64, misses: u64| hits as f64 / ((hits + misses).max(1)) as f64;
+    let world_rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(name, w)| {
+            vec![
+                name.to_string(),
+                human_bytes(w.total_bytes as usize),
+                human_bytes(w.migration_bytes as usize),
+                w.adaptations.to_string(),
+                format!("{:.0}%", 100.0 * hit_rate(w.cache_hits, w.cache_misses)),
+            ]
+        })
+        .collect();
+    println!("### Arbitration policies — whole-cluster traffic\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["policy", "total net (incl. migration)", "migration", "adaptations", "cache hits"]
+                .map(String::from),
+            &world_rows
+        )
+    );
+
+    // Fairness yardsticks: tenants of one parity share a mix, so two solo
+    // baselines cover everyone.
+    let solo = [serve_solo(&tag, &SERVE_TPCH_MIX), serve_solo(&tag, &SERVE_TPCDS_MIX)];
+    let merged = &runs[0].1;
+    let fairness = |t: usize, shared: u64| solo[t % 2] as f64 / shared.max(1) as f64;
+    let tenant_rows: Vec<Vec<String>> = merged
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(t, r)| {
+            vec![
+                t.to_string(),
+                r.suite.to_string(),
+                r.queries.to_string(),
+                human_bytes(r.query_bytes as usize),
+                human_bytes(solo[t % 2] as usize),
+                format!("{:.2}", fairness(t, r.query_bytes)),
+                format!("{:.3}", percentile_ms(&r.latencies, 0.50)),
+                format!("{:.3}", percentile_ms(&r.latencies, 0.95)),
+                format!("{}/{}", r.cache_hits, r.cache_misses),
+            ]
+        })
+        .collect();
+    println!("### Merged world — per-tenant view\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "tenant",
+                "suite",
+                "queries",
+                "query bytes",
+                "solo baseline",
+                "solo/shared",
+                "p50 ms",
+                "p95 ms",
+                "cache h/m"
+            ]
+            .map(String::from),
+            &tenant_rows
+        )
+    );
+
+    // Jain's fairness index over the per-tenant solo/shared ratios: 1.0
+    // means the consensus placement serves everyone equally well relative
+    // to what each could get alone.
+    let ratios: Vec<f64> =
+        merged.tenants.iter().enumerate().map(|(t, r)| fairness(t, r.query_bytes)).collect();
+    let sum: f64 = ratios.iter().sum();
+    let sum_sq: f64 = ratios.iter().map(|x| x * x).sum();
+    let jain = sum * sum / (ratios.len() as f64 * sum_sq).max(1e-12);
+    println!(
+        "fairness: Jain index {jain:.3} over solo/shared ratios | admission: {} granted, \
+         peak {} in flight\n",
+        merged.admitted, merged.peak_in_flight,
+    );
+
+    if let Some(path) = json_path {
+        let json = serve_json(sf, tenants, qps, &runs, &solo, jain);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}
+
+/// Serialize the serving report by hand (no serde in the offline tree);
+/// same discipline as `trajectory_json`.
+fn serve_json(
+    sf: f64,
+    tenants: usize,
+    qps: f64,
+    runs: &[(&str, ServeWorld)],
+    solo: &[u64; 2],
+    jain: f64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"vcsql-serve-report/v1\",");
+    let _ = writeln!(out, "  \"sf\": {sf},");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"tenants\": {tenants},");
+    let _ = writeln!(out, "  \"qps\": {qps},");
+    let _ = writeln!(out, "  \"rounds\": {SERVE_ROUNDS},");
+    out.push_str("  \"worlds\": {\n");
+    for (i, (name, w)) in runs.iter().enumerate() {
+        let sep = if i + 1 == runs.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"{name}\": {{\"total_bytes\": {}, \"migration_bytes\": {}, \
+             \"adaptations\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"admitted\": {}, \"peak_in_flight\": {}}}{sep}",
+            w.total_bytes,
+            w.migration_bytes,
+            w.adaptations,
+            w.cache_hits,
+            w.cache_misses,
+            w.admitted,
+            w.peak_in_flight,
+        );
+    }
+    out.push_str("  },\n");
+    let _ =
+        writeln!(out, "  \"solo_baselines\": {{\"tpch\": {}, \"tpcds\": {}}},", solo[0], solo[1]);
+    out.push_str("  \"merged_tenants\": [\n");
+    let merged = &runs[0].1;
+    for (t, r) in merged.tenants.iter().enumerate() {
+        let sep = if t + 1 == merged.tenants.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"tenant\": {t}, \"suite\": \"{}\", \"queries\": {}, \
+             \"query_bytes\": {}, \"solo_bytes\": {}, \"fairness\": {:.4}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"cache_hits\": {}, \
+             \"cache_misses\": {}}}{sep}",
+            r.suite,
+            r.queries,
+            r.query_bytes,
+            solo[t % 2],
+            solo[t % 2] as f64 / r.query_bytes.max(1) as f64,
+            percentile_ms(&r.latencies, 0.50),
+            percentile_ms(&r.latencies, 0.95),
+            r.cache_hits,
+            r.cache_misses,
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"fairness_jain\": {jain:.4}");
+    out.push_str("}\n");
+    out
 }
 
 /// A1 — §4.1.2: two-way join communication vs the min(IN, OUT) bound.

@@ -61,7 +61,7 @@ fn bad_profile_from_and_bandwidth_are_usage_errors() {
     // Likewise the distributed-only flags on a mode that never reads them.
     assert_usage_exit(
         &["tpch", "--bandwidth", "5e8"],
-        "--bandwidth only applies to the `distributed` (or `all`) mode",
+        "--bandwidth only applies to the `distributed`, `serve` (or `all`) modes",
     );
     assert_usage_exit(
         &["loading", "--partitioning", "hash"],
@@ -126,7 +126,43 @@ fn bad_threads_and_json_are_usage_errors() {
         &["distributed", "--threads", "4"],
         "--threads only applies to the per-query runtime modes",
     );
-    assert_usage_exit(&["tpch", "--json", "out.json"], "--json only applies to the `bench` mode");
+    assert_usage_exit(
+        &["tpch", "--json", "out.json"],
+        "--json only applies to the `bench` and `serve` modes",
+    );
+}
+
+#[test]
+fn bad_serve_flags_are_usage_errors() {
+    // The serving bench's flags: positive counts and rates only, and both
+    // are rejected on modes that would silently ignore them.
+    assert_usage_exit(&["serve", "--tenants", "0"], "bad --tenants value `0`");
+    assert_usage_exit(&["serve", "--tenants", "-2"], "bad --tenants value `-2`");
+    assert_usage_exit(&["serve", "--tenants", "crowd"], "bad --tenants value `crowd`");
+    assert_usage_exit(&["serve", "--tenants"], "--tenants needs a value");
+    assert_usage_exit(&["serve", "--qps", "0"], "bad --qps value `0`");
+    assert_usage_exit(&["serve", "--qps", "-1.5"], "bad --qps value `-1.5`");
+    assert_usage_exit(&["serve", "--qps", "inf"], "bad --qps value `inf`");
+    assert_usage_exit(&["serve", "--qps", "fast"], "bad --qps value `fast`");
+    assert_usage_exit(&["serve", "--qps"], "--qps needs a value");
+    assert_usage_exit(&["tpch", "--tenants", "4"], "--tenants only applies to the `serve` mode");
+    assert_usage_exit(&["bench", "--qps", "8"], "--qps only applies to the `serve` mode");
+}
+
+#[test]
+fn bad_restart_at_is_a_usage_error() {
+    assert_usage_exit(&["distributed", "--sessions", "6", "--restart-at", "0"], "bad --restart-at");
+    assert_usage_exit(&["distributed", "--sessions", "6", "--restart-at", "x"], "bad --restart-at");
+    assert_usage_exit(&["distributed", "--restart-at", "3"], "--restart-at requires --sessions");
+    // Restarting at or past the end leaves nothing to replay — reject it.
+    assert_usage_exit(
+        &["distributed", "--sessions", "6", "--restart-at", "6"],
+        "--restart-at must be less than --sessions",
+    );
+    assert_usage_exit(
+        &["distributed", "--sessions", "6", "--restart-at", "9"],
+        "--restart-at must be less than --sessions",
+    );
 }
 
 #[test]
@@ -241,6 +277,64 @@ fn sessions_drift_replay_smoke() {
     assert!(stdout.contains("migration"), "{stdout}");
     assert!(stdout.contains("self-profiled yardstick"), "{stdout}");
     assert!(stdout.contains("plan cache"), "{stdout}");
+}
+
+#[test]
+fn restart_replay_races_warm_against_cold() {
+    // The durable-profile path end to end: restart mid-replay, warm start
+    // reloads the saved profile text, cold start recalibrates.
+    let out = repro(&[
+        "distributed",
+        "--sf",
+        "0.004",
+        "--sessions",
+        "6",
+        "--restart-at",
+        "4",
+        "--partitioning",
+        "workload",
+        "--migration-budget",
+        "512",
+    ]);
+    assert!(
+        out.status.success(),
+        "restart replay smoke failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("restart before query 4"), "{stdout}");
+    assert!(stdout.contains("warm start (saved profile reloaded"), "{stdout}");
+    assert!(stdout.contains("cold start (recalibrated on tpch"), "{stdout}");
+    assert!(stdout.contains("session (post-restart)"), "{stdout}");
+}
+
+#[test]
+fn serve_smoke_emits_report_json() {
+    // The multi-tenant serving bench end to end at tiny scale: all three
+    // arbitration worlds, the per-tenant fairness table, and a well-formed
+    // vcsql-serve-report/v1 document.
+    let dir = std::env::temp_dir().join(format!("repro-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve.json");
+    let out =
+        repro(&["serve", "--sf", "0.004", "--tenants", "2", "--json", path.to_str().unwrap()]);
+    assert!(out.status.success(), "serve smoke failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Multi-tenant serving"), "{stdout}");
+    for world in ["merged", "unilateral", "static"] {
+        assert!(stdout.contains(world), "missing world `{world}`:\n{stdout}");
+    }
+    assert!(stdout.contains("Jain index"), "{stdout}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(json.contains("\"schema\": \"vcsql-serve-report/v1\""), "{json}");
+    assert!(json.contains("\"tenants\": 2"), "{json}");
+    assert!(json.contains("\"worlds\""), "{json}");
+    assert!(json.contains("\"merged_tenants\""), "{json}");
+    assert!(json.contains("\"fairness_jain\""), "{json}");
+    let count = |c: char| json.matches(c).count();
+    assert_eq!(count('{'), count('}'), "unbalanced braces:\n{json}");
+    assert_eq!(count('['), count(']'), "unbalanced brackets:\n{json}");
 }
 
 #[test]

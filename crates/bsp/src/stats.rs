@@ -266,6 +266,24 @@ impl TrafficProfile {
         self.entries.is_empty()
     }
 
+    /// Exponentially decay every counter by `factor` in `[0, 1]` (floored to
+    /// whole counts). Applied once per observation period, a factor of
+    /// `0.5^(1/h)` gives the profile a half-life of `h` periods: old traffic
+    /// fades instead of pinning the placement to a workload that stopped
+    /// running. Labels stay present even when their counters reach zero —
+    /// "seen, now quiet" still differs from "never profiled" for the
+    /// `Workload` placement fallback.
+    pub fn decay(&mut self, factor: f64) {
+        assert!((0.0..=1.0).contains(&factor), "decay factor {factor} outside [0, 1]");
+        let scale = |n: u64| (n as f64 * factor).floor() as u64;
+        for t in self.entries.values_mut() {
+            t.messages = scale(t.messages);
+            t.bytes = scale(t.bytes);
+            t.network_messages = scale(t.network_messages);
+            t.network_bytes = scale(t.network_bytes);
+        }
+    }
+
     /// Serialize to the line-oriented text format:
     ///
     /// ```text
@@ -419,6 +437,38 @@ mod tests {
         assert_eq!(ok.unwrap().get("r.a").unwrap().network_bytes, 4);
         let banner = TrafficProfile::from_text("# banner\nvcsql-traffic-profile v1\nr.a 1 2 3 4\n");
         assert_eq!(banner.unwrap().get("r.a").unwrap().messages, 1);
+    }
+
+    #[test]
+    fn decay_scales_counters_and_keeps_labels() {
+        let mut p = TrafficProfile::new();
+        p.record(
+            "r.a",
+            LabelTraffic { messages: 100, bytes: 1000, network_messages: 10, network_bytes: 101 },
+        );
+        p.record("r.b", LabelTraffic { messages: 1, bytes: 1, ..Default::default() });
+        p.decay(0.5);
+        assert_eq!(
+            p.get("r.a").unwrap(),
+            LabelTraffic { messages: 50, bytes: 500, network_messages: 5, network_bytes: 50 }
+        );
+        // Floored to zero, but the label stays profiled.
+        assert_eq!(p.get("r.b"), Some(LabelTraffic::default()));
+        p.decay(0.0);
+        assert_eq!(p.get("r.a"), Some(LabelTraffic::default()));
+        assert_eq!(p.len(), 2);
+        // Identity decay is a no-op.
+        let mut q = TrafficProfile::new();
+        q.record("r.a", LabelTraffic { messages: 7, bytes: 9, ..Default::default() });
+        let before = q.clone();
+        q.decay(1.0);
+        assert_eq!(q, before);
+    }
+
+    #[test]
+    #[should_panic]
+    fn decay_rejects_out_of_range_factor() {
+        TrafficProfile::new().decay(1.5);
     }
 
     #[test]

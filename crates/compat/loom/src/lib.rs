@@ -4,9 +4,10 @@
 //! The build environment has no access to a crates registry, so — in the
 //! established `compat/rand` / `compat/proptest` pattern — this local crate
 //! implements exactly the surface the workspace needs: shadow
-//! [`sync::Mutex`], [`sync::Condvar`], [`sync::atomic::AtomicUsize`], and
-//! [`thread::spawn`] types plus a [`model`] entry point that runs a closure
-//! under **every** schedule a preemption-bounded exhaustive DFS can reach.
+//! [`sync::Mutex`], [`sync::RwLock`], [`sync::Condvar`],
+//! [`sync::atomic::AtomicUsize`], and [`thread::spawn`] types plus a
+//! [`model`] entry point that runs a closure under **every** schedule a
+//! preemption-bounded exhaustive DFS can reach.
 //!
 //! # How it works
 //!
@@ -693,6 +694,65 @@ mod tests {
                 n.store(v + 1, Ordering::SeqCst);
                 t.join().unwrap();
                 assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+        }));
+        assert!(r.is_err(), "the checker must find the lost-update schedule");
+    }
+
+    #[test]
+    fn rwlock_outside_model_behaves_like_std() {
+        let l = sync::RwLock::new(5usize);
+        {
+            let a = l.read().unwrap();
+            let b = l.read().unwrap();
+            assert_eq!((*a, *b), (5, 5), "shared readers coexist");
+        }
+        *l.write().unwrap() = 7;
+        assert_eq!(*l.read().unwrap(), 7);
+    }
+
+    #[test]
+    fn rwlock_writers_exclude_and_readers_share() {
+        let explored = model(|| {
+            let l = Arc::new(sync::RwLock::new((0usize, 0usize)));
+            let l2 = Arc::clone(&l);
+            let t = crate::thread::spawn(move || {
+                let mut g = l2.write().unwrap();
+                // A writer updates both halves non-atomically; exclusion
+                // must keep the tear invisible.
+                g.0 += 1;
+                g.1 += 1;
+            });
+            {
+                let g = l.read().unwrap();
+                assert_eq!(g.0, g.1, "reader saw a torn write");
+            }
+            t.join().unwrap();
+            let g = l.read().unwrap();
+            assert_eq!(*g, (1, 1));
+        });
+        assert!(explored.complete, "rwlock model must be exhaustively explored");
+        assert!(explored.iterations >= 2, "reader must be scheduled both before and after");
+    }
+
+    #[test]
+    fn rwlock_read_then_write_upgrade_race_is_found() {
+        // Two threads read a counter under the read lock, release, then
+        // write back +1 under the write lock: a non-atomic upgrade. Some
+        // schedule interleaves the reads so an update is lost — the checker
+        // must reach it through the rwlock protocol.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let l = Arc::new(sync::RwLock::new(0usize));
+                let l2 = Arc::clone(&l);
+                let bump = |l: &sync::RwLock<usize>| {
+                    let v = *l.read().unwrap();
+                    *l.write().unwrap() = v + 1;
+                };
+                let t = crate::thread::spawn(move || bump(&l2));
+                bump(&l);
+                t.join().unwrap();
+                assert_eq!(*l.read().unwrap(), 2, "lost update");
             });
         }));
         assert!(r.is_err(), "the checker must find the lost-update schedule");

@@ -28,9 +28,8 @@
 //! The multi-query lifecycle — prepared statements behind a plan cache, one
 //! placement shared across queries, *online* repartitioning as the mix
 //! drifts — lives in the `vcsql-session` crate (`Session` / `Cluster`); its
-//! `Cluster` builder subsumes the older free-function entry points here
-//! (`tag_distributed_with` / `tag_distributed_under` remain as deprecated
-//! wrappers for one release).
+//! `Cluster` builder subsumes the older strategy-taking free functions that
+//! once lived here.
 
 pub mod netstats;
 pub mod spark;
@@ -136,39 +135,6 @@ pub fn tag_distributed(
     execute_under(tag, a, tag_partitioning(tag, machines, &PartitionStrategy::Hash), config)
 }
 
-/// [`tag_distributed`] with an explicit [`PartitionStrategy`].
-#[deprecated(
-    since = "0.1.0",
-    note = "build a session instead: `vcsql_session::Cluster::new(machines).strategy(..).session(&tag)`"
-)]
-pub fn tag_distributed_with(
-    tag: &TagGraph,
-    a: &Analyzed,
-    machines: usize,
-    strategy: &PartitionStrategy,
-    config: EngineConfig,
-) -> Result<(ExecOutput, NetStats)> {
-    if machines == 0 {
-        return Err(RelError::Other("cluster needs at least one machine".into()));
-    }
-    execute_under(tag, a, tag_partitioning(tag, machines, strategy), config)
-}
-
-/// [`tag_distributed`] under a prebuilt [`Partitioning`].
-#[deprecated(
-    since = "0.1.0",
-    note = "build a session instead: a `vcsql_session::Session` holds one placement across \
-            queries (and adapts it online); `Cluster::new(machines).session(&tag)`"
-)]
-pub fn tag_distributed_under(
-    tag: &TagGraph,
-    a: &Analyzed,
-    partitioning: Partitioning,
-    config: EngineConfig,
-) -> Result<(ExecOutput, NetStats)> {
-    execute_under(tag, a, partitioning, config)
-}
-
 /// Shared body of the one-shot entry points: run under a prebuilt
 /// partitioning and split out the network share of the traffic.
 fn execute_under(
@@ -216,8 +182,7 @@ mod tests {
         analyze(&parse(sql).unwrap(), tag.schemas()).unwrap()
     }
 
-    /// Strategy-driven run via the shared body (what the deprecated
-    /// `tag_distributed_with` wraps).
+    /// Strategy-driven run via the shared body.
     fn run_with(
         tag: &TagGraph,
         a: &Analyzed,
@@ -373,26 +338,6 @@ mod tests {
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             assert!(modelled_runtime(0.5, &net, bad).is_err(), "bandwidth {bad} accepted");
         }
-    }
-
-    /// The deprecated one-release wrappers must keep behaving exactly like
-    /// the shared body they delegate to.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        let db = tpch::generate(0.01, 11);
-        let tag = TagGraph::build(&db);
-        let a = analyzed(&tag, JOIN_SQL);
-        let strategy = PartitionStrategy::Refined;
-        let (out_w, net_w) =
-            tag_distributed_with(&tag, &a, 6, &strategy, EngineConfig::sequential()).unwrap();
-        let (out_d, net_d) = run_with(&tag, &a, 6, &strategy, EngineConfig::sequential()).unwrap();
-        assert!(out_w.relation.same_bag_approx(&out_d.relation, 1e-9));
-        assert_eq!(net_w, net_d);
-        let p = tag_partitioning(&tag, 6, &strategy);
-        let (_, net_u) = tag_distributed_under(&tag, &a, p, EngineConfig::sequential()).unwrap();
-        assert_eq!(net_u, net_d);
-        assert!(tag_distributed_with(&tag, &a, 0, &strategy, EngineConfig::sequential()).is_err());
     }
 
     #[test]

@@ -1,0 +1,696 @@
+//! # vcsql-server — a multi-tenant query server over one shared TAG
+//!
+//! One process encodes the database once and serves many clients: a
+//! [`QueryServer`] owns the shared `Arc<TagGraph>`, a sharded
+//! [`ShardedPlanCache`] (a statement planned for one tenant is a hit for
+//! all), an [`AdmissionController`] bounding in-flight executions, and —
+//! the part a single [`vcsql_session::Session`] cannot model — **one**
+//! placement that every tenant's traffic must share.
+//!
+//! A lone session repartitions unilaterally: when its profile drifts it
+//! derives a fresh target and walks there. With several tenants over one
+//! graph that policy thrashes — each tenant drags the placement toward its
+//! own mix, and vertices ping-pong on every mix switch. The server instead
+//! runs a single **arbitrated repartitioning loop**
+//! ([`Arbitration::Merged`]): each tenant *votes* with its exponentially
+//! decayed [`TrafficProfile`], the votes are merged byte-weighted (a
+//! tenant's weight is the traffic it actually generates) into one
+//! consensus workload, and only when *that* drifts past the threshold does
+//! the server derive one target and migrate toward it under a global
+//! budget. [`Arbitration::Unilateral`] (per-tenant targets that overwrite
+//! each other) and [`Arbitration::Static`] (never adapt) are kept as
+//! baselines for the `repro serve` benchmark.
+//!
+//! Concurrency model: tenants call [`TenantSession::run_sql`] from any
+//! thread. Executions share the server's persistent
+//! [`vcsql_bsp::WorkerPool`] (fan-outs are serialized by the
+//! pool's own run lock), the plan cache locks per shard, the placement
+//! sits behind one `RwLock` (read to execute, write to adapt), and the
+//! admission dispatcher is the only thread this crate spawns.
+
+mod admission;
+mod cache;
+mod sync;
+
+pub use admission::{AdmissionController, AdmissionPermit, AdmissionStats};
+pub use cache::{ShardedPlanCache, TenantCacheStats};
+
+use crate::sync::{Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, PoisonError};
+use vcsql_bsp::{
+    balance_cap, migrate_step, EngineConfig, PartitionStrategy, Partitioning, TrafficProfile,
+    WorkerPool, DEFAULT_BALANCE_SLACK,
+};
+use vcsql_core::{ExecOutput, QueryPlan, TagJoinExecutor};
+use vcsql_dist::NetStats;
+use vcsql_relation::RelError;
+use vcsql_session::vertex_state_bytes;
+use vcsql_tag::TagGraph;
+
+type Result<T> = std::result::Result<T, RelError>;
+
+/// Poison-tolerant lock: the protected state is only ever mutated with the
+/// lock held and every mutation is panic-atomic at our level, so a poisoned
+/// lock just means some other execution panicked — its state is still
+/// consistent for everyone else.
+pub(crate) fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How the server reconciles tenants' competing placement preferences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arbitration {
+    /// The arbitrated loop: merge every tenant's decayed profile
+    /// byte-weighted into one consensus workload, derive one target when
+    /// the *consensus* drifts, migrate under the global budget.
+    #[default]
+    Merged,
+    /// The naive policy a fleet of independent sessions would apply: the
+    /// executing tenant's own profile drives the target, and a drifted
+    /// tenant overwrites another tenant's in-flight target. Kept as the
+    /// thrashing baseline.
+    Unilateral,
+    /// Never adapt: the initial placement serves every tenant forever.
+    Static,
+}
+
+/// Configuration of a [`QueryServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Simulated machines. `1` serves purely locally (no partitioning, no
+    /// network accounting, no arbitration).
+    pub machines: usize,
+    /// BSP engine tuning, shared by every tenant's executions.
+    pub engine: EngineConfig,
+    /// Initial placement strategy. A [`PartitionStrategy::Workload`]
+    /// strategy also seeds the consensus profile with its calibration
+    /// profile.
+    pub strategy: PartitionStrategy,
+    /// Plan-cache shards (must be at least 1).
+    pub cache_shards: usize,
+    /// Plan-cache capacity *per shard* (must be at least 1).
+    pub plan_cache_capacity: usize,
+    /// Arbitration trigger: adapt when the vote's byte-weighted drift from
+    /// the placement's profile exceeds this.
+    pub drift_threshold: f64,
+    /// Global migration budget: most vertices migrated per arbitration
+    /// step, across all tenants (must be at least 1).
+    pub migration_budget: usize,
+    /// Relative headroom over the ideal per-machine load that placement
+    /// and migration may use.
+    pub balance_slack: f64,
+    /// Exponential forgetting of each tenant's traffic profile, as a
+    /// half-life in that tenant's executions (see
+    /// [`vcsql_session::SessionConfig::profile_half_life`]). The server
+    /// defaults this *on*: votes must track what tenants run now, not what
+    /// they ran at startup.
+    pub profile_half_life: Option<f64>,
+    /// How competing tenant preferences are reconciled.
+    pub arbitration: Arbitration,
+    /// Most in-flight executions per tenant (must be at least 1).
+    pub max_in_flight_per_tenant: usize,
+    /// Most in-flight executions across all tenants (must be at least 1).
+    pub max_in_flight_total: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            machines: 1,
+            engine: EngineConfig::default(),
+            strategy: PartitionStrategy::Refined,
+            cache_shards: 8,
+            plan_cache_capacity: 64,
+            drift_threshold: 0.25,
+            migration_budget: 2048,
+            balance_slack: DEFAULT_BALANCE_SLACK,
+            profile_half_life: Some(8.0),
+            arbitration: Arbitration::Merged,
+            max_in_flight_per_tenant: 4,
+            max_in_flight_total: 16,
+        }
+    }
+}
+
+/// Counters the server accumulates over its lifetime, across all tenants.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Executions served.
+    pub queries: u64,
+    /// Arbitration targets derived (consensus drift threshold crossings).
+    pub adaptations: u64,
+    /// Migration steps that moved at least one vertex.
+    pub migration_steps: u64,
+    /// Vertices migrated across all arbitration steps.
+    pub migrated_vertices: u64,
+    /// Bytes of migrated vertex state.
+    pub migration_bytes: u64,
+    /// Cumulative network traffic over every execution, migrations
+    /// included.
+    pub net: NetStats,
+}
+
+/// Counters one tenant accumulates.
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// Executions this tenant ran.
+    pub queries: u64,
+    /// This tenant's cumulative network traffic, including the migration
+    /// bytes its executions triggered.
+    pub net: NetStats,
+}
+
+/// The placement every tenant shares, plus the in-flight arbitration walk.
+#[derive(Debug)]
+struct PlacementState {
+    /// Current placement (`None` when `machines == 1`). Mid-migration this
+    /// is the in-between placement the next execution runs under.
+    current: Option<Arc<Partitioning>>,
+    /// The profile the current placement was derived from — the standing
+    /// consensus.
+    profile: TrafficProfile,
+    pending: Option<PendingMigration>,
+}
+
+/// An in-flight arbitration: the target, the vote it was derived from, and
+/// (under [`Arbitration::Unilateral`]) which tenant proposed it.
+#[derive(Debug)]
+struct PendingMigration {
+    target: Partitioning,
+    profile: TrafficProfile,
+    proposer: Option<usize>,
+}
+
+/// One tenant's server-side state.
+#[derive(Debug)]
+struct TenantState {
+    id: usize,
+    /// This tenant's decayed traffic profile — its arbitration vote.
+    profile: Mutex<TrafficProfile>,
+    stats: Mutex<TenantStats>,
+}
+
+/// The server: one shared TAG, one shared placement, one plan cache, one
+/// admission queue. Open per-client handles with
+/// [`QueryServer::open_session`]; everything on the server is `&self` and
+/// thread-safe.
+pub struct QueryServer {
+    tag: Arc<TagGraph>,
+    config: ServerConfig,
+    cache: ShardedPlanCache,
+    placement: RwLock<PlacementState>,
+    tenants: Mutex<Vec<Arc<TenantState>>>,
+    admission: AdmissionController,
+    /// Persistent worker runtime shared by every tenant's executions
+    /// (`None` for single-threaded engine configs). The pool's run lock
+    /// serializes fan-outs; workers park between queries.
+    pool: Option<Arc<WorkerPool>>,
+    stats: Mutex<ServerStats>,
+}
+
+impl std::fmt::Debug for QueryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryServer")
+            .field("machines", &self.config.machines)
+            .field("arbitration", &self.config.arbitration)
+            .field("tenants", &lock(&self.tenants).len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryServer {
+    /// Start a server over `tag` (the handle is cloned; the graph itself
+    /// is shared). Validates the configuration the same way
+    /// [`vcsql_session::Session::open`] does, plus the server-only knobs:
+    /// at least one cache shard and positive admission bounds.
+    pub fn start(tag: &Arc<TagGraph>, config: ServerConfig) -> Result<Arc<QueryServer>> {
+        let invalid = |msg: String| RelError::Other(format!("server config: {msg}"));
+        if config.machines == 0 {
+            return Err(invalid("at least one machine required".into()));
+        }
+        if config.machines > u16::MAX as usize {
+            return Err(invalid("machine count exceeds u16".into()));
+        }
+        if config.cache_shards == 0 {
+            return Err(invalid("plan cache needs at least one shard".into()));
+        }
+        if config.plan_cache_capacity == 0 {
+            return Err(invalid("plan cache needs capacity for at least one plan".into()));
+        }
+        if config.migration_budget == 0 {
+            return Err(invalid("migration budget must allow at least one vertex".into()));
+        }
+        if !config.drift_threshold.is_finite() || config.drift_threshold <= 0.0 {
+            return Err(invalid(format!(
+                "drift threshold must be positive and finite, got {}",
+                config.drift_threshold
+            )));
+        }
+        if !config.balance_slack.is_finite() || config.balance_slack < 0.0 {
+            return Err(invalid(format!(
+                "balance slack must be non-negative, got {}",
+                config.balance_slack
+            )));
+        }
+        if let Some(h) = config.profile_half_life {
+            if !h.is_finite() || h <= 0.0 {
+                return Err(invalid(format!(
+                    "profile half-life must be positive and finite, got {h}"
+                )));
+            }
+        }
+        if config.max_in_flight_per_tenant == 0 || config.max_in_flight_total == 0 {
+            return Err(invalid("admission bounds must admit at least one execution".into()));
+        }
+        let current = (config.machines > 1).then(|| {
+            Arc::new(vcsql_dist::tag_partitioning(tag, config.machines, &config.strategy))
+        });
+        let profile = match &config.strategy {
+            PartitionStrategy::Workload(p) => p.clone(),
+            _ => TrafficProfile::new(),
+        };
+        let pool =
+            (config.engine.threads > 1).then(|| Arc::new(WorkerPool::new(config.engine.threads)));
+        Ok(Arc::new(QueryServer {
+            tag: Arc::clone(tag),
+            cache: ShardedPlanCache::new(config.cache_shards, config.plan_cache_capacity),
+            placement: RwLock::new(PlacementState { current, profile, pending: None }),
+            tenants: Mutex::new(Vec::new()),
+            admission: AdmissionController::new(
+                config.max_in_flight_per_tenant,
+                config.max_in_flight_total,
+            ),
+            pool,
+            stats: Mutex::new(ServerStats::default()),
+            config,
+        }))
+    }
+
+    /// Register a tenant and hand back its session. Tenant ids are dense,
+    /// in registration order.
+    pub fn open_session(self: &Arc<Self>) -> TenantSession {
+        let mut tenants = lock(&self.tenants);
+        let tenant = Arc::new(TenantState {
+            id: tenants.len(),
+            profile: Mutex::new(TrafficProfile::new()),
+            stats: Mutex::new(TenantStats::default()),
+        });
+        tenants.push(Arc::clone(&tenant));
+        TenantSession { server: Arc::clone(self), tenant }
+    }
+
+    /// The TAG graph this server serves.
+    pub fn tag(&self) -> &TagGraph {
+        &self.tag
+    }
+
+    /// The shared graph handle.
+    pub fn tag_handle(&self) -> &Arc<TagGraph> {
+        &self.tag
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The shared plan cache (aggregate and per-tenant counters).
+    pub fn plan_cache(&self) -> &ShardedPlanCache {
+        &self.cache
+    }
+
+    /// Admission-queue counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// Registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        lock(&self.tenants).len()
+    }
+
+    /// The placement every tenant currently runs under (`None` on a single
+    /// machine).
+    pub fn partitioning(&self) -> Option<Arc<Partitioning>> {
+        self.read_placement().current.clone()
+    }
+
+    /// The standing consensus profile the current placement was derived
+    /// from.
+    pub fn placement_profile(&self) -> TrafficProfile {
+        self.read_placement().profile.clone()
+    }
+
+    /// True iff an arbitration walk is in flight.
+    pub fn migration_pending(&self) -> bool {
+        self.read_placement().pending.is_some()
+    }
+
+    /// Lifetime counters, across all tenants.
+    pub fn stats(&self) -> ServerStats {
+        lock(&self.stats).clone()
+    }
+
+    /// The persistent worker pool (`None` when the engine config is
+    /// single-threaded).
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
+    }
+
+    fn read_placement(&self) -> impl std::ops::Deref<Target = PlacementState> + '_ {
+        self.placement.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Merge every tenant's decayed profile into one byte-weighted vote:
+    /// `absorb` sums raw counters, so a tenant's weight in the consensus is
+    /// exactly the traffic it generates. The second component is the
+    /// quorum: `true` iff every registered tenant has voted (executed at
+    /// least once). Deriving a target from a partial consensus is how a
+    /// fleet of unilateral sessions thrashes — the first tenant to run
+    /// would drag the shared placement toward its own mix before anyone
+    /// else was heard — so the merged policy refuses to re-shuffle shared
+    /// state until every seated tenant has spoken.
+    fn merged_vote(&self) -> (TrafficProfile, bool) {
+        let tenants: Vec<Arc<TenantState>> = lock(&self.tenants).clone();
+        let mut vote = TrafficProfile::new();
+        let mut quorum = true;
+        for t in &tenants {
+            let profile = lock(&t.profile);
+            quorum &= !profile.is_empty();
+            vote.absorb(&profile);
+        }
+        (vote, quorum)
+    }
+
+    /// The arbitration step run after each execution: form the vote
+    /// (consensus or the proposer's own profile, per policy), derive a
+    /// target when the vote drifts past the threshold, then walk the
+    /// shared placement toward the pending target one bounded migration
+    /// step at a time, charging migrated state to `net` (and so to the
+    /// execution that triggered the step).
+    fn arbitrate(&self, proposer: usize, net: &mut NetStats) {
+        if self.config.machines <= 1 || self.config.arbitration == Arbitration::Static {
+            return;
+        }
+        // The vote is formed before the placement write lock: merged votes
+        // take the tenant locks, and lock order is tenants → placement.
+        let (vote, quorum) = match self.config.arbitration {
+            Arbitration::Merged => self.merged_vote(),
+            // Unilateral tenants don't wait for anyone — that impatience is
+            // the baseline's defining (mis)behaviour.
+            Arbitration::Unilateral => {
+                let tenants = lock(&self.tenants);
+                let profile = lock(&tenants[proposer].profile);
+                (profile.clone(), true)
+            }
+            Arbitration::Static => unreachable!("static arbitration returned above"),
+        };
+        let mut pl = self.placement.write().unwrap_or_else(PoisonError::into_inner);
+        let drifted = || quorum && vote.byte_drift(&pl.profile) > self.config.drift_threshold;
+        let need_target = match (&pl.pending, self.config.arbitration) {
+            (None, _) => drifted(),
+            // Unilateral tenants fight: a drifted tenant overwrites another
+            // tenant's in-flight target with its own. This is the thrash
+            // the merged policy exists to prevent.
+            (Some(p), Arbitration::Unilateral) => p.proposer != Some(proposer) && drifted(),
+            (Some(_), _) => false,
+        };
+        if need_target {
+            let target = vcsql_dist::tag_partitioning(
+                &self.tag,
+                self.config.machines,
+                &PartitionStrategy::Workload(vote.clone()),
+            );
+            pl.pending = Some(PendingMigration { target, profile: vote, proposer: Some(proposer) });
+            lock(&self.stats).adaptations += 1;
+        }
+        let Some(pending) = &pl.pending else { return };
+        let current = pl.current.as_deref().expect("machines > 1 implies a placement");
+        let cap = balance_cap(
+            self.tag.graph().vertex_count(),
+            self.config.machines,
+            self.config.balance_slack,
+        );
+        let step = migrate_step(current, &pending.target, self.config.migration_budget, cap);
+        if !step.moves.is_empty() {
+            let bytes: u64 =
+                step.moves.iter().map(|m| vertex_state_bytes(&self.tag, m.vertex)).sum();
+            net.record_migration(step.moves.len() as u64, bytes);
+            let mut stats = lock(&self.stats);
+            stats.migration_steps += 1;
+            stats.migrated_vertices += step.moves.len() as u64;
+            stats.migration_bytes += bytes;
+        }
+        let done = step.remaining == 0 || step.moves.is_empty();
+        pl.current = Some(Arc::new(step.partitioning));
+        if done {
+            let finished = pl.pending.take().expect("pending checked above");
+            pl.profile = finished.profile;
+        }
+    }
+}
+
+/// One tenant's handle onto the server: cheap to open, safe to use from
+/// any thread (`run_sql` takes `&self`).
+#[derive(Debug)]
+pub struct TenantSession {
+    server: Arc<QueryServer>,
+    tenant: Arc<TenantState>,
+}
+
+impl TenantSession {
+    /// This tenant's dense id.
+    pub fn id(&self) -> usize {
+        self.tenant.id
+    }
+
+    /// The server this session belongs to.
+    pub fn server(&self) -> &Arc<QueryServer> {
+        &self.server
+    }
+
+    /// Plan `sql` through the shared cache (planned at most once across
+    /// all tenants; the lookup is attributed to this tenant).
+    pub fn prepare(&self, sql: &str) -> Result<Arc<QueryPlan>> {
+        self.server.cache.get_or_prepare(self.tenant.id, sql, self.server.tag.schemas())
+    }
+
+    /// Execute `sql` under the shared placement: admission first, then the
+    /// cached plan, then the run, then fold this run's traffic into the
+    /// tenant's decayed vote and give arbitration one step. The returned
+    /// [`NetStats`] itemizes any migration bytes this execution's
+    /// arbitration step shipped.
+    pub fn run_sql(&self, sql: &str) -> Result<(ExecOutput, NetStats)> {
+        let _permit = self.server.admission.acquire(self.tenant.id);
+        let plan = self.prepare(sql)?;
+        let mut exec = TagJoinExecutor::new(&self.server.tag, self.server.config.engine);
+        if let Some(p) = self.server.partitioning() {
+            exec = exec.with_partitioning_shared(p);
+        }
+        if let Some(pool) = &self.server.pool {
+            exec = exec.with_worker_pool(Arc::clone(pool));
+        }
+        let out = exec.execute_plan(&plan)?;
+        let mut net = NetStats {
+            network_messages: out.stats.totals.network_messages,
+            network_bytes: out.stats.totals.network_bytes,
+            rounds: out.stats.supersteps,
+            ..Default::default()
+        };
+        {
+            let mut profile = lock(&self.tenant.profile);
+            if let Some(h) = self.server.config.profile_half_life {
+                profile.decay(0.5f64.powf(1.0 / h));
+            }
+            profile.absorb(&TrafficProfile::from_run(&out.stats, self.server.tag.graph()));
+        }
+        self.server.arbitrate(self.tenant.id, &mut net);
+        {
+            let mut stats = lock(&self.tenant.stats);
+            stats.queries += 1;
+            stats.net.absorb(&net);
+        }
+        {
+            let mut stats = lock(&self.server.stats);
+            stats.queries += 1;
+            stats.net.absorb(&net);
+        }
+        Ok((out, net))
+    }
+
+    /// This tenant's lifetime counters.
+    pub fn stats(&self) -> TenantStats {
+        lock(&self.tenant.stats).clone()
+    }
+
+    /// This tenant's current (decayed) arbitration vote.
+    pub fn profile(&self) -> TrafficProfile {
+        lock(&self.tenant.profile).clone()
+    }
+
+    /// This tenant's view of the shared plan cache.
+    pub fn cache_stats(&self) -> TenantCacheStats {
+        self.server.cache.tenant_stats(self.tenant.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcsql_workload::tpch;
+
+    const JOIN_SQL: &str = "SELECT c.c_name FROM customer c, orders o, lineitem l \
+                            WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey";
+    const Q17_SQL: &str = "SELECT p.p_name FROM part p, lineitem l WHERE p.p_partkey = l.l_partkey";
+
+    fn setup(machines: usize) -> (Arc<TagGraph>, ServerConfig) {
+        let db = tpch::generate(0.01, 42);
+        let tag = Arc::new(TagGraph::build(&db));
+        let config = ServerConfig {
+            machines,
+            engine: EngineConfig::sequential(),
+            ..ServerConfig::default()
+        };
+        (tag, config)
+    }
+
+    #[test]
+    fn start_validates_configuration() {
+        let (tag, config) = setup(1);
+        let bad = [
+            ServerConfig { machines: 0, ..config.clone() },
+            ServerConfig { cache_shards: 0, ..config.clone() },
+            ServerConfig { plan_cache_capacity: 0, ..config.clone() },
+            ServerConfig { migration_budget: 0, ..config.clone() },
+            ServerConfig { drift_threshold: 0.0, ..config.clone() },
+            ServerConfig { drift_threshold: f64::NAN, ..config.clone() },
+            ServerConfig { balance_slack: -0.1, ..config.clone() },
+            ServerConfig { profile_half_life: Some(0.0), ..config.clone() },
+            ServerConfig { profile_half_life: Some(f64::INFINITY), ..config.clone() },
+            ServerConfig { max_in_flight_per_tenant: 0, ..config.clone() },
+            ServerConfig { max_in_flight_total: 0, ..config.clone() },
+        ];
+        for c in bad {
+            assert!(QueryServer::start(&tag, c).is_err());
+        }
+        assert!(QueryServer::start(&tag, config).is_ok());
+    }
+
+    #[test]
+    fn tenants_share_plans_and_results_match_a_lone_executor() {
+        let (tag, config) = setup(1);
+        let server = QueryServer::start(&tag, config).unwrap();
+        let alice = server.open_session();
+        let bob = server.open_session();
+        assert_eq!((alice.id(), bob.id()), (0, 1));
+        assert_eq!(server.tenant_count(), 2);
+        let lone =
+            TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(JOIN_SQL).unwrap();
+        let (out_a, net_a) = alice.run_sql(JOIN_SQL).unwrap();
+        let (out_b, _) = bob.run_sql(JOIN_SQL).unwrap();
+        assert!(out_a.relation.same_bag_approx(&lone.relation, 1e-9));
+        assert!(out_b.relation.same_bag_approx(&lone.relation, 1e-9));
+        assert_eq!(net_a.network_bytes, 0, "single machine never uses the network");
+        // Alice planned, Bob hit the shared cache.
+        assert_eq!(alice.cache_stats(), TenantCacheStats { hits: 0, misses: 1 });
+        assert_eq!(bob.cache_stats(), TenantCacheStats { hits: 1, misses: 0 });
+        assert_eq!(server.plan_cache().len(), 1);
+        assert_eq!(server.stats().queries, 2);
+        assert_eq!(alice.stats().queries, 1);
+        assert_eq!(server.admission_stats().admitted, 2);
+    }
+
+    #[test]
+    fn merged_arbitration_adapts_once_and_goes_quiet() {
+        let (tag, config) = setup(6);
+        let server = QueryServer::start(&tag, config).unwrap();
+        let t0 = server.open_session();
+        let t1 = server.open_session();
+        let lone =
+            TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(JOIN_SQL).unwrap();
+        let mut saw_migration = false;
+        for _ in 0..4 {
+            for t in [&t0, &t1] {
+                let (out, net) = t.run_sql(JOIN_SQL).unwrap();
+                assert!(out.relation.same_bag_approx(&lone.relation, 1e-9));
+                saw_migration |= net.migration_bytes > 0;
+                assert!(net.migration_bytes <= net.network_bytes);
+            }
+        }
+        // The empty consensus drifts maximally against real traffic, so the
+        // shared placement must have self-tuned...
+        assert!(saw_migration, "arbitrated migration never happened");
+        let stats = server.stats();
+        assert!(stats.adaptations >= 1);
+        assert!(stats.migrated_vertices > 0);
+        assert_eq!(stats.net.migration_bytes, stats.migration_bytes);
+        // ...and with both tenants running the same mix the consensus is
+        // stable: one more round must not migrate again.
+        let migrated_before = server.stats().migrated_vertices;
+        for t in [&t0, &t1] {
+            let (_, net) = t.run_sql(JOIN_SQL).unwrap();
+            assert_eq!(net.migration_bytes, 0, "steady consensus must not thrash");
+        }
+        assert_eq!(server.stats().migrated_vertices, migrated_before);
+        // Both tenants' traffic is itemized: the sum of tenant nets equals
+        // the server net.
+        let total = t0.stats().net.network_bytes + t1.stats().net.network_bytes;
+        assert_eq!(total, server.stats().net.network_bytes);
+    }
+
+    #[test]
+    fn unilateral_tenants_thrash_where_merged_tenants_settle() {
+        let (tag, config) = setup(4);
+        let run_mixed = |arbitration: Arbitration| -> u64 {
+            let server = QueryServer::start(
+                &tag,
+                ServerConfig { arbitration, migration_budget: 100_000, ..config.clone() },
+            )
+            .unwrap();
+            let a = server.open_session();
+            let b = server.open_session();
+            // Two tenants with *conflicting* placement preferences: the
+            // 3-way join pulls lineitem toward orders, q17 pulls it toward
+            // part. Alternate them long enough for each policy to settle
+            // (or not).
+            for _ in 0..6 {
+                a.run_sql(JOIN_SQL).unwrap();
+                b.run_sql(Q17_SQL).unwrap();
+            }
+            server.stats().migration_bytes
+        };
+        let merged = run_mixed(Arbitration::Merged);
+        let unilateral = run_mixed(Arbitration::Unilateral);
+        let static_bytes = run_mixed(Arbitration::Static);
+        assert_eq!(static_bytes, 0, "static placement never migrates");
+        assert!(
+            merged < unilateral,
+            "arbitration must ship fewer migration bytes than the tenant fight \
+             (merged {merged} vs unilateral {unilateral})"
+        );
+    }
+
+    #[test]
+    fn admission_bounds_hold_under_concurrent_tenants() {
+        let (tag, config) = setup(1);
+        let server = QueryServer::start(
+            &tag,
+            ServerConfig { max_in_flight_per_tenant: 1, max_in_flight_total: 2, ..config },
+        )
+        .unwrap();
+        let sessions: Vec<TenantSession> = (0..4).map(|_| server.open_session()).collect();
+        let driver = WorkerPool::new(4);
+        driver.run(4, &|w| {
+            for _ in 0..3 {
+                sessions[w].run_sql(JOIN_SQL).unwrap();
+            }
+        });
+        let admission = server.admission_stats();
+        assert_eq!(admission.admitted, 12);
+        assert!(admission.peak_in_flight <= 2, "global admission bound breached");
+        assert_eq!(server.stats().queries, 12);
+        // Every tenant used the one shared plan: one miss total.
+        assert_eq!(server.plan_cache().misses(), 1);
+        assert_eq!(server.plan_cache().hits(), 11);
+    }
+}

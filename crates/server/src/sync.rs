@@ -1,0 +1,28 @@
+//! Synchronization-primitive shim for the server, mirroring
+//! `vcsql-bsp`'s `sync` module.
+//!
+//! Everything in this crate that locks, waits, or spawns goes through these
+//! re-exports instead of naming `std::sync` / `std::thread` directly. In a
+//! normal build the re-exports *are* the std types. Under
+//! `--cfg vcsql_loom` (the model-checking lane) they swap for the `loom`
+//! compat crate's shadow types, so `tests/loom_cache.rs` can explore every
+//! preemption-bounded interleaving of the sharded plan cache inside
+//! `loom::model`. Outside a model the shadow types degrade to std, so the
+//! regular suite runs unchanged in that configuration too.
+
+#[cfg(not(vcsql_loom))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, RwLock};
+
+#[cfg(vcsql_loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard, RwLock};
+
+/// Thread spawning: std by default, loom-controlled threads under
+/// `--cfg vcsql_loom`. Only the admission dispatcher spawns (see
+/// `xtask`'s no-thread-spawn lint allowlist).
+pub mod thread {
+    #[cfg(not(vcsql_loom))]
+    pub use std::thread::{Builder, JoinHandle};
+
+    #[cfg(vcsql_loom)]
+    pub use loom::thread::{Builder, JoinHandle};
+}

@@ -90,6 +90,50 @@ impl PlanCache {
         Ok(plan)
     }
 
+    /// Look up `sql` alone: a hit refreshes recency and returns the plan, a
+    /// miss counts and returns `None`. Together with [`PlanCache::insert`]
+    /// this splits [`PlanCache::get_or_try_insert`] so a caller holding a
+    /// shared lock (the `vcsql-server` sharded cache) can plan *outside*
+    /// the critical section and insert the finished plan afterwards.
+    pub fn get(&mut self, sql: &str) -> Option<Arc<QueryPlan>> {
+        self.clock += 1;
+        let gen = self.clock;
+        let Some(entry) = self.plans.get_mut(sql) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
+        entry.gen = gen;
+        let plan = Arc::clone(&entry.plan);
+        self.order.push_back((gen, sql.to_string()));
+        self.compact();
+        Some(plan)
+    }
+
+    /// Insert a plan built elsewhere, evicting the LRU entry beyond
+    /// capacity. If `sql` is already cached — two callers raced to build
+    /// the same plan — the **first** insert wins and the cached plan is
+    /// returned, so every caller agrees on one plan allocation. Does not
+    /// touch the hit/miss counters (the preceding [`PlanCache::get`]
+    /// already counted this lookup).
+    pub fn insert(&mut self, sql: &str, plan: Arc<QueryPlan>) -> Arc<QueryPlan> {
+        self.clock += 1;
+        let gen = self.clock;
+        if let Some(entry) = self.plans.get_mut(sql) {
+            entry.gen = gen;
+            let existing = Arc::clone(&entry.plan);
+            self.order.push_back((gen, sql.to_string()));
+            self.compact();
+            return existing;
+        }
+        if self.plans.len() == self.capacity {
+            self.evict_lru();
+        }
+        self.plans.insert(sql.to_string(), Entry { plan: Arc::clone(&plan), gen });
+        self.order.push_back((gen, sql.to_string()));
+        plan
+    }
+
     /// Pop recency pairs from the front until one still matches its map
     /// entry's stamp; evict that plan. Each stale pair is popped exactly
     /// once over its lifetime, so the cost amortizes to O(1) per operation.
@@ -221,6 +265,33 @@ mod tests {
         assert!(cache.contains(a), "hot entry must survive");
         assert!(!cache.contains(b), "cold entry must be the one evicted");
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn split_get_insert_matches_the_combined_path() {
+        let mut cache = PlanCache::new(2);
+        let s = schemas();
+        let q = "SELECT r.a FROM r";
+        assert!(cache.get(q).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let built = Arc::new(QueryPlan::prepare(q, &s).unwrap());
+        let stored = cache.insert(q, Arc::clone(&built));
+        assert!(Arc::ptr_eq(&stored, &built));
+        // Insert counts nothing; the next get is a hit on the same plan.
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let hit = cache.get(q).unwrap();
+        assert!(Arc::ptr_eq(&hit, &built));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A racing second insert loses: first plan wins for everyone.
+        let other = Arc::new(QueryPlan::prepare(q, &s).unwrap());
+        let kept = cache.insert(q, other);
+        assert!(Arc::ptr_eq(&kept, &built));
+        // Inserts still evict by recency beyond capacity.
+        let (b, c) = ("SELECT r.b FROM r", "SELECT r.a, r.b FROM r");
+        cache.insert(b, Arc::new(QueryPlan::prepare(b, &s).unwrap()));
+        cache.insert(c, Arc::new(QueryPlan::prepare(c, &s).unwrap()));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.contains(q) || !cache.contains(b), "capacity bound holds");
     }
 
     #[test]

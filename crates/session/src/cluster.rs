@@ -14,6 +14,7 @@
 //! ```
 
 use crate::{NetStats, Session, SessionConfig};
+use std::sync::Arc;
 use vcsql_bsp::{EngineConfig, PartitionStrategy, TrafficProfile};
 use vcsql_query::analyze::Analyzed;
 use vcsql_relation::RelError;
@@ -103,7 +104,7 @@ impl Cluster {
     }
 
     /// Open a session over `tag` with this cluster's configuration.
-    pub fn session<'t>(&self, tag: &'t TagGraph) -> Result<Session<'t>> {
+    pub fn session(&self, tag: &Arc<TagGraph>) -> Result<Session> {
         Session::open(tag, self.config.clone())
     }
 
@@ -119,11 +120,11 @@ impl Cluster {
     /// `tag_calibrate` → `tag_profiled` loop as one call, except the session
     /// keeps observing and re-adapts online as the real mix drifts away
     /// from the calibration workload.
-    pub fn calibrated_session<'t>(
+    pub fn calibrated_session(
         &self,
-        tag: &'t TagGraph,
+        tag: &Arc<TagGraph>,
         calibrate_on: &[Analyzed],
-    ) -> Result<Session<'t>> {
+    ) -> Result<Session> {
         let profile = self.calibrate(tag, calibrate_on)?;
         let mut config = self.config.clone();
         config.strategy = PartitionStrategy::Workload(profile);
@@ -167,7 +168,7 @@ mod tests {
         assert!(c.bandwidth(0.0).modelled_runtime(1.0, &net).is_err());
         // Zero machines is an Err from every builder entry point — never a
         // panic, and calibrated_session matches session's failure mode.
-        let tag = TagGraph::build(&tpch::generate(0.004, 1));
+        let tag = Arc::new(TagGraph::build(&tpch::generate(0.004, 1)));
         assert!(Cluster::new(0).session(&tag).is_err());
         assert!(Cluster::new(0).calibrated_session(&tag, &[]).is_err());
     }
@@ -175,7 +176,7 @@ mod tests {
     #[test]
     fn calibrated_session_subsumes_the_profiled_loop() {
         let db = tpch::generate(0.01, 42);
-        let tag = TagGraph::build(&db);
+        let tag = Arc::new(TagGraph::build(&db));
         let a = analyze(&parse(JOIN_SQL).unwrap(), tag.schemas()).unwrap();
         let cluster = Cluster::new(6).engine(EngineConfig::sequential()).static_placement();
         let workload = std::slice::from_ref(&a);

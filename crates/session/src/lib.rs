@@ -75,6 +75,14 @@ pub struct SessionConfig {
     /// Relative headroom over the ideal per-machine load that placement and
     /// migration may use (the partitioning subsystem's 20% cap by default).
     pub balance_slack: f64,
+    /// Exponential forgetting of the accumulated traffic profile, expressed
+    /// as a half-life in executions: before each execution's traffic is
+    /// folded in, every accumulated counter is scaled by `0.5^(1/h)`, so
+    /// traffic from `h` executions ago carries half the weight of fresh
+    /// traffic. Drift is share-based (scale-free), so decay changes *which
+    /// mix* the session adapts to — recent queries dominate — not how
+    /// eagerly it adapts. `None` keeps the original grow-forever profile.
+    pub profile_half_life: Option<f64>,
 }
 
 impl Default for SessionConfig {
@@ -87,6 +95,7 @@ impl Default for SessionConfig {
             drift_threshold: 0.25,
             migration_budget: 2048,
             balance_slack: DEFAULT_BALANCE_SLACK,
+            profile_half_life: None,
         }
     }
 }
@@ -165,9 +174,11 @@ struct PendingMigration {
 
 /// A long-lived query session over one TAG graph: prepared statements, a
 /// plan cache, one placement shared across queries, and online
-/// repartitioning as the observed workload drifts.
-pub struct Session<'t> {
-    tag: &'t TagGraph,
+/// repartitioning as the observed workload drifts. The graph is held by
+/// [`Arc`], so any number of sessions (and a `vcsql-server` serving them)
+/// can share one TAG without lifetime coupling.
+pub struct Session {
+    tag: Arc<TagGraph>,
     config: SessionConfig,
     cache: PlanCache,
     /// Current placement (`None` when `machines == 1`), shared with the
@@ -187,11 +198,13 @@ pub struct Session<'t> {
     stats: SessionStats,
 }
 
-impl<'t> Session<'t> {
-    /// Open a session over `tag`. Validates the configuration: at least one
-    /// machine, a non-empty plan cache, a positive migration budget, a
-    /// positive finite drift threshold and non-negative balance slack.
-    pub fn open(tag: &'t TagGraph, config: SessionConfig) -> Result<Session<'t>> {
+impl Session {
+    /// Open a session over `tag` (the handle is cloned; the graph itself is
+    /// shared). Validates the configuration: at least one machine, a
+    /// non-empty plan cache, a positive migration budget, a positive finite
+    /// drift threshold, non-negative balance slack and a positive finite
+    /// profile half-life when one is set.
+    pub fn open(tag: &Arc<TagGraph>, config: SessionConfig) -> Result<Session> {
         if config.machines == 0 {
             return Err(RelError::Other("session needs at least one machine".into()));
         }
@@ -218,6 +231,13 @@ impl<'t> Session<'t> {
                 config.balance_slack
             )));
         }
+        if let Some(h) = config.profile_half_life {
+            if !h.is_finite() || h <= 0.0 {
+                return Err(RelError::Other(format!(
+                    "profile half-life must be positive and finite, got {h}"
+                )));
+            }
+        }
         let partitioning = (config.machines > 1).then(|| {
             Arc::new(vcsql_dist::tag_partitioning(tag, config.machines, &config.strategy))
         });
@@ -232,7 +252,7 @@ impl<'t> Session<'t> {
         let workers =
             (config.engine.threads > 1).then(|| Arc::new(WorkerPool::new(config.engine.threads)));
         Ok(Session {
-            tag,
+            tag: Arc::clone(tag),
             accumulated: placement_profile.clone(),
             placement_profile,
             partitioning,
@@ -268,7 +288,7 @@ impl<'t> Session<'t> {
     /// network share of its traffic — including, itemized, the bytes of any
     /// vertex migration this execution's adaptation step performed.
     pub fn execute(&mut self, prepared: &PreparedQuery) -> Result<(ExecOutput, NetStats)> {
-        let mut exec = TagJoinExecutor::new(self.tag, self.config.engine);
+        let mut exec = TagJoinExecutor::new(&self.tag, self.config.engine);
         if let Some(p) = self.placement_for(prepared) {
             exec = exec.with_partitioning_shared(p);
         }
@@ -282,6 +302,9 @@ impl<'t> Session<'t> {
             rounds: out.stats.supersteps,
             ..Default::default()
         };
+        if let Some(h) = self.config.profile_half_life {
+            self.accumulated.decay(0.5f64.powf(1.0 / h));
+        }
         self.accumulated.absorb(&TrafficProfile::from_run(&out.stats, self.tag.graph()));
         self.stats.queries += 1;
         // Hinted executions bypass adaptation entirely: their placement is
@@ -313,7 +336,7 @@ impl<'t> Session<'t> {
                     Some((machines, p)) if *machines == self.config.machines => Some(Arc::clone(p)),
                     _ => {
                         let p = Arc::new(vcsql_dist::tag_partitioning(
-                            self.tag,
+                            &self.tag,
                             self.config.machines,
                             &PartitionStrategy::Workload(profile.clone()),
                         ));
@@ -339,7 +362,7 @@ impl<'t> Session<'t> {
         {
             let profile = self.accumulated.clone();
             let target = vcsql_dist::tag_partitioning(
-                self.tag,
+                &self.tag,
                 self.config.machines,
                 &PartitionStrategy::Workload(profile.clone()),
             );
@@ -356,7 +379,7 @@ impl<'t> Session<'t> {
         let step = migrate_step(current, &pending.target, self.config.migration_budget, cap);
         if !step.moves.is_empty() {
             let bytes: u64 =
-                step.moves.iter().map(|m| vertex_state_bytes(self.tag, m.vertex)).sum();
+                step.moves.iter().map(|m| vertex_state_bytes(&self.tag, m.vertex)).sum();
             net.record_migration(step.moves.len() as u64, bytes);
             self.stats.migration_steps += 1;
             self.stats.migrated_vertices += step.moves.len() as u64;
@@ -373,8 +396,76 @@ impl<'t> Session<'t> {
     }
 
     /// The TAG graph this session serves.
-    pub fn tag(&self) -> &'t TagGraph {
-        self.tag
+    pub fn tag(&self) -> &TagGraph {
+        &self.tag
+    }
+
+    /// The shared graph handle (clone to open further sessions over the
+    /// same TAG).
+    pub fn tag_handle(&self) -> &Arc<TagGraph> {
+        &self.tag
+    }
+
+    /// Serialize the session's learned state — the accumulated
+    /// [`TrafficProfile`] and, on a multi-machine session, the current
+    /// [`Partitioning`] — to one text document, reusing the two existing
+    /// line formats back to back. Feed the result to
+    /// [`Session::load_profile`] on a fresh session over the same TAG to
+    /// warm-start it: no re-calibration, no re-migration.
+    pub fn save_profile(&self) -> String {
+        let mut out = format!(
+            "# vcsql session profile (machines={}, queries={})\n",
+            self.config.machines, self.stats.queries
+        );
+        out.push_str(&self.accumulated.to_text());
+        if let Some(p) = &self.partitioning {
+            out.push_str(&p.to_text());
+        }
+        out
+    }
+
+    /// Restore state saved by [`Session::save_profile`]: the accumulated
+    /// profile becomes both the session's observed traffic and its
+    /// placement profile (a warm-started session is converged by
+    /// construction), the saved placement replaces the current one, and any
+    /// in-flight migration is dropped. Errors if the document is malformed
+    /// or its placement was built for a different graph or machine count;
+    /// the session is unchanged on error.
+    pub fn load_profile(&mut self, text: &str) -> Result<()> {
+        let err = |e: String| RelError::Other(format!("load_profile: {e}"));
+        let (profile_text, placement_text) = match text.find("vcsql-partitioning v1") {
+            Some(at) => (&text[..at], Some(&text[at..])),
+            None => (text, None),
+        };
+        let profile = TrafficProfile::from_text(profile_text).map_err(err)?;
+        let partitioning = match placement_text {
+            Some(t) => {
+                let p = Partitioning::from_text(t).map_err(err)?;
+                if p.machines() != self.config.machines {
+                    return Err(err(format!(
+                        "placement saved for {} machines, session has {}",
+                        p.machines(),
+                        self.config.machines
+                    )));
+                }
+                let vertices = self.tag.graph().vertex_count();
+                if p.load().iter().sum::<usize>() != vertices {
+                    return Err(err(format!(
+                        "placement saved for a different graph (want {vertices} vertices)"
+                    )));
+                }
+                Some(Arc::new(p))
+            }
+            None if self.config.machines > 1 => {
+                return Err(err("no saved placement for a multi-machine session".into()))
+            }
+            None => None,
+        };
+        self.partitioning = partitioning;
+        self.placement_profile = profile.clone();
+        self.accumulated = profile;
+        self.pending = None;
+        Ok(())
     }
 
     /// The session's configuration.
@@ -419,7 +510,9 @@ impl<'t> Session<'t> {
 /// Wire size of one vertex's state, charged when the vertex migrates: the
 /// same 8-byte-word-plus-aligned-strings model both engines charge for
 /// messages (`Table::approx_bytes`, `unsafe_row_bytes`), plus one id word.
-fn vertex_state_bytes(tag: &TagGraph, v: VertexId) -> u64 {
+/// Public so `vcsql-server`'s arbitrated migration charges the identical
+/// model.
+pub fn vertex_state_bytes(tag: &TagGraph, v: VertexId) -> u64 {
     let value_words = |val: &Value| -> u64 {
         8 + match val {
             Value::Str(s) => (s.len() as u64).div_ceil(8) * 8,
@@ -437,9 +530,9 @@ mod tests {
     use super::*;
     use vcsql_workload::tpch;
 
-    fn session(machines: usize) -> (TagGraph, SessionConfig) {
+    fn session(machines: usize) -> (Arc<TagGraph>, SessionConfig) {
         let db = tpch::generate(0.01, 42);
-        let tag = TagGraph::build(&db);
+        let tag = Arc::new(TagGraph::build(&db));
         let config = SessionConfig {
             machines,
             engine: EngineConfig::sequential(),
@@ -495,7 +588,91 @@ mod tests {
         assert!(
             Session::open(&tag, SessionConfig { balance_slack: -0.1, ..config.clone() }).is_err()
         );
+        assert!(Session::open(
+            &tag,
+            SessionConfig { profile_half_life: Some(0.0), ..config.clone() }
+        )
+        .is_err());
+        assert!(Session::open(
+            &tag,
+            SessionConfig { profile_half_life: Some(f64::NAN), ..config.clone() }
+        )
+        .is_err());
         assert!(Session::open(&tag, config).is_ok());
+    }
+
+    #[test]
+    fn profile_decay_forgets_old_traffic() {
+        let (tag, mut config) = session(1);
+        config.profile_half_life = Some(1.0);
+        let mut s = Session::open(&tag, config).unwrap();
+        let (_, _) = s.run_sql(JOIN_SQL).unwrap();
+        let after_one = s.accumulated_profile().total_bytes();
+        assert!(after_one > 0);
+        // With a one-execution half-life the accumulated bytes converge to
+        // roughly 2x one execution's traffic (geometric series), not 10x.
+        for _ in 0..9 {
+            s.run_sql(JOIN_SQL).unwrap();
+        }
+        let after_ten = s.accumulated_profile().total_bytes();
+        assert!(
+            after_ten < 3 * after_one,
+            "decay must bound the accumulated profile: {after_ten} vs one-run {after_one}"
+        );
+        // Without decay the same ten runs accumulate linearly.
+        let (tag2, config2) = session(1);
+        let mut undecayed = Session::open(&tag2, config2).unwrap();
+        for _ in 0..10 {
+            undecayed.run_sql(JOIN_SQL).unwrap();
+        }
+        assert!(undecayed.accumulated_profile().total_bytes() >= 10 * after_one);
+    }
+
+    #[test]
+    fn save_load_roundtrips_profile_and_placement() {
+        let (tag, config) = session(4);
+        let mut s = Session::open(&tag, config.clone()).unwrap();
+        // Run until the self-tuning migration settles.
+        for _ in 0..6 {
+            s.run_sql(JOIN_SQL).unwrap();
+        }
+        let saved = s.save_profile();
+        let placement = s.partitioning().unwrap().clone();
+        let mut fresh = Session::open(&tag, config.clone()).unwrap();
+        fresh.load_profile(&saved).unwrap();
+        assert_eq!(fresh.accumulated_profile(), s.accumulated_profile());
+        assert_eq!(fresh.placement_profile(), s.accumulated_profile());
+        assert!(!fresh.migration_pending());
+        let restored = fresh.partitioning().unwrap();
+        for v in tag.graph().vertices() {
+            assert_eq!(placement.machine_of(v), restored.machine_of(v));
+        }
+        // The warm session is converged: re-running the profiled workload
+        // must not migrate.
+        let (_, net) = fresh.run_sql(JOIN_SQL).unwrap();
+        assert_eq!(net.migration_bytes, 0, "warm-started session re-migrated");
+
+        // Mismatches are rejected and leave the session untouched.
+        let mut two = Session::open(&tag, SessionConfig { machines: 2, ..config }).unwrap();
+        assert!(two.load_profile(&saved).is_err(), "machine-count mismatch must fail");
+        assert!(two.load_profile("garbage").is_err());
+        let (tag_small, config_small) = {
+            let db = tpch::generate(0.004, 7);
+            (Arc::new(TagGraph::build(&db)), SessionConfig { machines: 4, ..Default::default() })
+        };
+        let mut other_graph = Session::open(&tag_small, config_small).unwrap();
+        assert!(other_graph.load_profile(&saved).is_err(), "wrong graph must fail");
+        // A single-machine session happily loads the profile part alone.
+        let (tag1, config1) = session(1);
+        let mut one = Session::open(&tag1, config1).unwrap();
+        let solo_saved = {
+            let (tag1b, config1b) = session(1);
+            let mut solo = Session::open(&tag1b, config1b).unwrap();
+            solo.run_sql(JOIN_SQL).unwrap();
+            solo.save_profile()
+        };
+        one.load_profile(&solo_saved).unwrap();
+        assert!(!one.accumulated_profile().is_empty());
     }
 
     #[test]

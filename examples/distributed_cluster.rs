@@ -14,6 +14,7 @@
 //!
 //! Run with: `cargo run --release --example distributed_cluster`
 
+use std::sync::Arc;
 use vcsql::bsp::PartitionStrategy;
 use vcsql::dist::SparkModel;
 use vcsql::tag::TagGraph;
@@ -22,7 +23,7 @@ use vcsql::Cluster;
 
 fn main() {
     let db = tpch::generate(0.05, 42);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let spark = SparkModel { machines: 6, broadcast_threshold: 0 };
     let cluster = Cluster::new(6).static_placement();
 

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example incremental_maintenance`
 
+use std::sync::Arc;
 use vcsql::tag::{MaterializePolicy, TagBuilder};
 use vcsql::workload::tpch;
 use vcsql::{Session, SessionConfig};
@@ -31,7 +32,7 @@ fn main() {
         builder.delete_tuple(v).unwrap();
     }
 
-    let tag = builder.build();
+    let tag = Arc::new(builder.build());
     let stats = tag.stats();
     println!(
         "after incremental build + 50 deletions: {} tuple vertices, {} attribute vertices",

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use std::sync::Arc;
 use vcsql::relation::schema::{Column, Schema};
 use vcsql::relation::{DataType, Database, Relation, Tuple, Value};
 use vcsql::tag::TagGraph;
@@ -40,7 +41,7 @@ fn main() {
     db.add(c);
 
     // 2. Encode once, query-independently, as a Tuple-Attribute Graph.
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let stats = tag.stats();
     println!(
         "TAG graph: {} tuple vertices, {} attribute vertices, {} undirected edges",

@@ -27,8 +27,10 @@ pub use vcsql_core as core;
 pub use vcsql_dist as dist;
 pub use vcsql_query as query;
 pub use vcsql_relation as relation;
+pub use vcsql_server as server;
 pub use vcsql_session as session;
 pub use vcsql_tag as tag;
 pub use vcsql_workload as workload;
 
+pub use vcsql_server::{Arbitration, QueryServer, ServerConfig, TenantSession};
 pub use vcsql_session::{Cluster, PlanCache, PreparedQuery, Session, SessionConfig, SessionStats};

@@ -13,6 +13,7 @@
 //! depends only on graph shape (plus the calibration profile for
 //! `workload`), and byte accounting is independent of engine thread count.
 
+use std::sync::Arc;
 use vcsql::bsp::PartitionStrategy;
 use vcsql::query::analyze::{analyze, Analyzed};
 use vcsql::tag::TagGraph;
@@ -30,7 +31,7 @@ fn analyzed_suite(tag: &TagGraph) -> Vec<Analyzed> {
 }
 
 /// Total network bytes across the whole TPC-H suite under one strategy.
-fn suite_network_bytes(tag: &TagGraph, strategy: PartitionStrategy) -> u64 {
+fn suite_network_bytes(tag: &Arc<TagGraph>, strategy: PartitionStrategy) -> u64 {
     let mut session = Cluster::new(MACHINES)
         .static_placement()
         .strategy(strategy)
@@ -48,7 +49,7 @@ fn suite_network_bytes(tag: &TagGraph, strategy: PartitionStrategy) -> u64 {
 #[test]
 fn tpch_sf001_network_totals_are_pinned() {
     let db = tpch::generate(0.01, SEED);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let profile = Cluster::new(MACHINES)
         .calibrate(&tag, &analyzed_suite(&tag))
         .expect("calibration succeeds");

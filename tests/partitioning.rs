@@ -12,6 +12,7 @@
 //! with static placement), exercising the same path `repro distributed`
 //! measures.
 
+use std::sync::Arc;
 use vcsql::bsp::{EngineConfig, PartitionStrategy};
 use vcsql::core::TagJoinExecutor;
 use vcsql::query::analyze::Analyzed;
@@ -49,7 +50,7 @@ fn cluster(machines: usize, threads: usize) -> Cluster {
 #[test]
 fn all_strategies_preserve_results_on_the_tpch_workload() {
     let db = tpch::generate(0.01, 42);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let queries = tpch_analyzed(&tag);
     let analyzed: Vec<Analyzed> = queries.iter().map(|(_, _, a)| a.clone()).collect();
     let cluster = cluster(6, 2);
@@ -92,7 +93,7 @@ fn all_strategies_preserve_results_on_the_tpch_workload() {
 #[test]
 fn locality_strategies_never_ship_more_than_hash_on_three_way_join() {
     let db = tpch::generate(0.02, 42);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let net_for = |s: &PartitionStrategy| {
         let mut session = cluster(6, 1).strategy(s.clone()).session(&tag).unwrap();
         let (_, net) = session.run_sql(THREE_WAY_JOIN).unwrap();
@@ -117,7 +118,7 @@ fn locality_strategies_never_ship_more_than_hash_on_three_way_join() {
 #[test]
 fn locality_ordering_holds_on_a_second_seed_and_machine_count() {
     let db = tpch::generate(0.015, 7);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     for machines in [3usize, 8] {
         let net_for = |s: &PartitionStrategy| {
             let mut session = cluster(machines, 1).strategy(s.clone()).session(&tag).unwrap();
@@ -136,7 +137,7 @@ fn locality_ordering_holds_on_a_second_seed_and_machine_count() {
 #[test]
 fn workload_profiled_on_itself_ships_no_more_than_refined() {
     let db = tpch::generate(0.01, 42);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let queries = tpch_analyzed(&tag);
     let analyzed: Vec<Analyzed> = queries.iter().map(|(_, _, a)| a.clone()).collect();
     let cluster = cluster(6, 2);
@@ -168,7 +169,7 @@ fn workload_profiled_on_itself_ships_no_more_than_refined() {
 #[test]
 fn cartesian_shipping_is_charged_to_the_network() {
     let db = tpch::generate(0.01, 42);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let single =
         TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(CROSS_COMPONENT).unwrap();
     assert!(!single.relation.is_empty(), "cross product should produce rows");

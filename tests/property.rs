@@ -7,6 +7,7 @@
 //! a fixed profile sequence, and never change session results.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use vcsql::baseline::{execute as baseline, ExecConfig};
 use vcsql::bsp::{
     balance_cap, migrate_step, Computation, EngineConfig, Graph, GraphBuilder, LabelId,
@@ -307,7 +308,7 @@ proptest! {
         budget in 1usize..48,
     ) {
         let sql = chain_sql(n, filter, agg);
-        let tag = TagGraph::build(&db);
+        let tag = Arc::new(TagGraph::build(&db));
         let analyzed = analyze(&parse(&sql).unwrap(), tag.schemas()).unwrap();
         let expected = baseline(&analyzed, &db, ExecConfig::default()).unwrap();
         let single = TagJoinExecutor::new(&tag, EngineConfig::sequential())

@@ -50,7 +50,7 @@ fn repeated_execution_is_thread_count_independent() {
 #[test]
 fn session_pool_spans_distinct_queries() {
     let db = tpch::generate(0.01, 42);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let config = SessionConfig {
         engine: EngineConfig::with_threads(3).with_parallel_threshold(0),
         ..SessionConfig::default()
@@ -76,7 +76,7 @@ fn session_pool_spans_distinct_queries() {
 #[test]
 fn session_churn_leaks_no_workers() {
     let db = tpch::generate(0.01, 7);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     for round in 0..8 {
         let config = SessionConfig {
             engine: EngineConfig::with_threads(3).with_parallel_threshold(0),

@@ -12,6 +12,7 @@
 //! * Per-query placement hints override the session placement for q17-style
 //!   conflicts and leave the session's own placement untouched.
 
+use std::sync::Arc;
 use vcsql::bsp::EngineConfig;
 use vcsql::core::TagJoinExecutor;
 use vcsql::query::analyze::{analyze, Analyzed};
@@ -41,7 +42,7 @@ fn combined_db(sf: f64) -> Database {
 #[test]
 fn prepared_execution_matches_run_sql_across_both_workloads() {
     let db = combined_db(0.01);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let mut session = Session::open(
         &tag,
         SessionConfig { engine: EngineConfig::with_threads(2), ..SessionConfig::default() },
@@ -82,7 +83,7 @@ fn prepared_execution_matches_run_sql_across_both_workloads() {
 #[test]
 fn drift_replay_recovers_self_profiled_traffic_within_ten_percent() {
     let db = combined_db(0.01);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let tpch_suite = tpch::queries();
     let tpcds_suite = tpcds::queries();
     let tpch_analyzed = analyze_suite(&tag, &tpch_suite);
@@ -142,7 +143,7 @@ fn drift_replay_recovers_self_profiled_traffic_within_ten_percent() {
 #[test]
 fn placement_hints_serve_q17_style_conflicts() {
     let db = tpch::generate(0.02, 42);
-    let tag = TagGraph::build(&db);
+    let tag = Arc::new(TagGraph::build(&db));
     let suite = tpch::queries();
     let analyzed = analyze_suite(&tag, &suite);
     let cluster = Cluster::new(6).engine(EngineConfig::with_threads(2)).static_placement();
