@@ -38,20 +38,28 @@
 //!                   plan-cache hit rate, migration bytes and fairness vs
 //!                   solo-refined baselines; --json writes the
 //!                   vcsql-serve-report/v1 document
-//!   all             everything above (except bench and serve)
+//!   faults          fault-tolerance sweep: inject the --kill machine crash
+//!                   (plus two --seed-derived transient link drops) into
+//!                   every TPC-H/TPC-DS query at each checkpoint interval in
+//!                   {0,1,2,4,8} ∪ {--checkpoint-every}, assert every result
+//!                   bag identical to fault-free, and tabulate the
+//!                   checkpoint-overhead vs recovery-cost tradeoff; --json
+//!                   writes the vcsql-fault-report/v1 document
+//!   all             everything above (except bench, serve and faults)
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use vcsql_bench::{markdown_table, ms, prepare, run_system_with, speedup, time, Loaded, System};
-use vcsql_bsp::{EngineConfig, PartitionStrategy, TrafficProfile};
+use vcsql_bsp::{EngineConfig, FaultInjector, FaultPlan, PartitionStrategy, TrafficProfile};
 use vcsql_core::cyclic;
 use vcsql_core::twoway::{two_way_join, TwoWaySpec};
+use vcsql_core::TagJoinExecutor;
 use vcsql_dist::{tag_distributed, SparkModel};
 use vcsql_query::analyze::Analyzed;
 use vcsql_query::AggClass;
 use vcsql_relation::mem::human_bytes;
 use vcsql_relation::Database;
-use vcsql_server::{Arbitration, QueryServer, ServerConfig, TenantSession};
+use vcsql_server::{Arbitration, FailureStats, QueryServer, ServerConfig, TenantSession};
 use vcsql_session::Cluster;
 use vcsql_tag::TagGraph;
 use vcsql_workload::{synthetic, tpcds, tpch, BenchQuery};
@@ -62,11 +70,12 @@ usage: repro <mode> [--sf a,b,c] [--partitioning hash,colocate,refined,workload]
              [--sessions n] [--restart-at k] [--migration-budget n]
              [--tenants n] [--qps q] [--threads n] [--json path]
              [--compare path] [--tolerance f]
+             [--checkpoint-every k] [--kill m@r] [--seed n]
 
 modes:
   loading sizes tpch tpcds tpch-classes tpcds-matrix tpcds-classes
   agg-breakdown memory distributed cost-model triangle-theta reshuffle
-  bench serve all
+  bench serve faults all
 
 flags:
   --sf a,b,c             comma-separated positive scale factors
@@ -112,16 +121,24 @@ flags:
                          tpcds-matrix, tpcds-classes, agg-breakdown, bench,
                          all); for `bench` this is the multi-thread arm
                          (default: the machine's parallelism, capped at 16)
-  --json path            `bench`/`serve`: also write the machine-readable
-                         report (trajectory timings or the serve report) to
-                         `path`
+  --json path            `bench`/`serve`/`faults`: also write the
+                         machine-readable report (trajectory timings, the
+                         serve report or the fault report) to `path`
   --compare path         `bench` only: compare this run's totals
                          parallel_speedup against a committed trajectory
                          baseline (a BENCH_*.json file) and exit nonzero if
                          any workload regresses beyond the tolerance — the
                          CI gate on parallel overhead
   --tolerance f          allowed fractional regression for --compare, in
-                         [0, 1) (default 0.15)";
+                         [0, 1) (default 0.15)
+  --checkpoint-every k   `faults` only: the checkpoint interval under test,
+                         in supersteps (default 2; must be positive — the
+                         sweep adds interval 0, checkpointing disabled, as
+                         its own arm)
+  --kill m@r             `faults` only: crash machine m just before
+                         superstep r of every query (default 1@3)
+  --seed n               `faults` only: seed for the two extra transient
+                         link-drop faults of each plan (default 42)";
 
 /// Print an argument error plus the usage text and exit with status 2.
 fn usage_error(msg: &str) -> ! {
@@ -194,6 +211,24 @@ fn parse_qps(raw: &str) -> f64 {
     }
 }
 
+/// `--kill m@r`: the machine to crash and the superstep it dies before.
+/// Anything that is not two unsigned integers joined by `@` is a usage
+/// error, never a panic.
+fn parse_kill(raw: &str) -> (u32, u64) {
+    if let Some((m, r)) = raw.split_once('@') {
+        if let (Ok(machine), Ok(superstep)) = (m.parse::<u32>(), r.parse::<u64>()) {
+            return (machine, superstep);
+        }
+    }
+    usage_error(&format!("bad --kill value `{raw}` (want machine@superstep, e.g. 2@3)"))
+}
+
+fn parse_seed(raw: &str) -> u64 {
+    raw.parse::<u64>().unwrap_or_else(|_| {
+        usage_error(&format!("bad --seed value `{raw}` (want an unsigned integer)"))
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<String> = None;
@@ -211,6 +246,9 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut compare_path: Option<String> = None;
     let mut tolerance: Option<f64> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut kill: Option<(u32, u64)> = None;
+    let mut seed: Option<u64> = None;
     let mut distributed_flag: Option<&'static str> = None;
     let mut partitioning_explicit = false;
     let mut i = 0;
@@ -297,6 +335,23 @@ fn main() {
                 tolerance = Some(parse_tolerance(raw));
                 i += 2;
             }
+            "--checkpoint-every" => {
+                let raw = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage_error("--checkpoint-every needs a value"));
+                checkpoint_every = Some(parse_positive(raw, "--checkpoint-every") as u64);
+                i += 2;
+            }
+            "--kill" => {
+                let raw = args.get(i + 1).unwrap_or_else(|| usage_error("--kill needs a value"));
+                kill = Some(parse_kill(raw));
+                i += 2;
+            }
+            "--seed" => {
+                let raw = args.get(i + 1).unwrap_or_else(|| usage_error("--seed needs a value"));
+                seed = Some(parse_seed(raw));
+                i += 2;
+            }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag `{flag}`")),
             m => {
                 if mode.is_some() {
@@ -378,8 +433,19 @@ fn main() {
             THREADED_MODES.join(", ")
         ));
     }
-    if json_path.is_some() && !matches!(mode.as_str(), "bench" | "serve") {
-        usage_error("--json only applies to the `bench` and `serve` modes");
+    if json_path.is_some() && !matches!(mode.as_str(), "bench" | "serve" | "faults") {
+        usage_error("--json only applies to the `bench`, `serve` and `faults` modes");
+    }
+    // The fault-injection flags steer only the `faults` sweep; anywhere else
+    // they would be silently ignored.
+    for (flag, given) in [
+        ("--checkpoint-every", checkpoint_every.is_some()),
+        ("--kill", kill.is_some()),
+        ("--seed", seed.is_some()),
+    ] {
+        if given && mode != "faults" {
+            usage_error(&format!("{flag} only applies to the `faults` mode"));
+        }
     }
     if compare_path.is_some() && mode != "bench" {
         usage_error("--compare only applies to the `bench` mode");
@@ -415,6 +481,13 @@ fn main() {
             tenants.unwrap_or(8),
             qps.unwrap_or(8.0),
             bandwidth,
+            json_path.as_deref(),
+        ),
+        "faults" => faults_bench(
+            last_sf,
+            checkpoint_every.unwrap_or(2),
+            kill.unwrap_or((1, 3)),
+            seed.unwrap_or(SEED),
             json_path.as_deref(),
         ),
         "all" => {
@@ -1120,6 +1193,10 @@ struct ServeTenant {
     latencies: Vec<f64>,
     cache_hits: u64,
     cache_misses: u64,
+    /// Per-tenant failure isolation counters (panics, timeouts, retries,
+    /// recoveries) — all zero in a fault-free serve run, but part of the
+    /// report shape so operators can alert on them.
+    failures: FailureStats,
 }
 
 /// One arbitration policy's serving run, whole-cluster view.
@@ -1132,6 +1209,8 @@ struct ServeWorld {
     cache_misses: u64,
     admitted: u64,
     peak_in_flight: usize,
+    /// Server-wide failure counters, summed across tenants.
+    failures: FailureStats,
     tenants: Vec<ServeTenant>,
 }
 
@@ -1182,6 +1261,7 @@ fn serve_world(
                 latencies: lat,
                 cache_hits: cache.hits,
                 cache_misses: cache.misses,
+                failures: session.failure_stats(),
             }
         })
         .collect();
@@ -1195,6 +1275,7 @@ fn serve_world(
         cache_misses: server.plan_cache().misses(),
         admitted: admission.admitted,
         peak_in_flight: admission.peak_in_flight,
+        failures: stats.failures,
         tenants,
     }
 }
@@ -1257,6 +1338,13 @@ fn serve_bench(sf: f64, tenants: usize, qps: f64, bw: f64, json_path: Option<&st
                 human_bytes(w.migration_bytes as usize),
                 w.adaptations.to_string(),
                 format!("{:.0}%", 100.0 * hit_rate(w.cache_hits, w.cache_misses)),
+                format!(
+                    "{}/{}/{}/{}",
+                    w.failures.panics,
+                    w.failures.timeouts,
+                    w.failures.retries,
+                    w.failures.recoveries
+                ),
             ]
         })
         .collect();
@@ -1264,8 +1352,15 @@ fn serve_bench(sf: f64, tenants: usize, qps: f64, bw: f64, json_path: Option<&st
     println!(
         "{}",
         markdown_table(
-            &["policy", "total net (incl. migration)", "migration", "adaptations", "cache hits"]
-                .map(String::from),
+            &[
+                "policy",
+                "total net (incl. migration)",
+                "migration",
+                "adaptations",
+                "cache hits",
+                "failures p/t/r/r"
+            ]
+            .map(String::from),
             &world_rows
         )
     );
@@ -1337,6 +1432,14 @@ fn serve_bench(sf: f64, tenants: usize, qps: f64, bw: f64, json_path: Option<&st
     }
 }
 
+/// The failure-isolation counters as an inline JSON object.
+fn failures_json(f: &FailureStats) -> String {
+    format!(
+        "{{\"panics\": {}, \"timeouts\": {}, \"retries\": {}, \"recoveries\": {}}}",
+        f.panics, f.timeouts, f.retries, f.recoveries
+    )
+}
+
 /// Serialize the serving report by hand (no serde in the offline tree);
 /// same discipline as `trajectory_json`.
 fn serve_json(
@@ -1363,7 +1466,7 @@ fn serve_json(
             out,
             "    \"{name}\": {{\"total_bytes\": {}, \"migration_bytes\": {}, \
              \"adaptations\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"admitted\": {}, \"peak_in_flight\": {}}}{sep}",
+             \"admitted\": {}, \"peak_in_flight\": {}, \"failures\": {}}}{sep}",
             w.total_bytes,
             w.migration_bytes,
             w.adaptations,
@@ -1371,6 +1474,7 @@ fn serve_json(
             w.cache_misses,
             w.admitted,
             w.peak_in_flight,
+            failures_json(&w.failures),
         );
     }
     out.push_str("  },\n");
@@ -1385,7 +1489,7 @@ fn serve_json(
             "    {{\"tenant\": {t}, \"suite\": \"{}\", \"queries\": {}, \
              \"query_bytes\": {}, \"solo_bytes\": {}, \"fairness\": {:.4}, \
              \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"cache_hits\": {}, \
-             \"cache_misses\": {}}}{sep}",
+             \"cache_misses\": {}, \"failures\": {}}}{sep}",
             r.suite,
             r.queries,
             r.query_bytes,
@@ -1395,11 +1499,247 @@ fn serve_json(
             percentile_ms(&r.latencies, 0.95),
             r.cache_hits,
             r.cache_misses,
+            failures_json(&r.failures),
         );
     }
     out.push_str("  ],\n");
     let _ = writeln!(out, "  \"fairness_jain\": {jain:.4}");
     out.push_str("}\n");
+    out
+}
+
+/// One (workload, checkpoint-interval) arm of the fault sweep, counters
+/// summed over the suite's queries. All byte counters come from each
+/// query's *successful* attempt — a failed attempt returns no statistics,
+/// it only bumps `retries`/`reruns`.
+struct FaultArm {
+    workload: &'static str,
+    interval: u64,
+    queries: u64,
+    checkpoints: u64,
+    checkpoint_bytes: u64,
+    crashes_recovered: u64,
+    recovered_rounds: u64,
+    recovery_bytes: u64,
+    /// Transient delivery failures resolved by retrying the execution.
+    retries: u64,
+    /// Crashes with no checkpoint to restore from (interval 0), resolved by
+    /// rerunning from scratch.
+    reruns: u64,
+    network_bytes: u64,
+}
+
+/// E17 — the fault-tolerance sweep: inject one machine crash (`--kill`)
+/// plus two seeded transient link drops into every TPC-H and TPC-DS query,
+/// once per checkpoint interval in `{0,1,2,4,8} ∪ {--checkpoint-every}`.
+/// Every faulty run must reproduce the fault-free result bag *and* the
+/// fault-free network byte total (recovery traffic is itemized separately),
+/// so the table is a pure overhead-vs-recovery-cost tradeoff: small
+/// intervals pay checkpoint bytes per superstep, large ones replay more
+/// rounds per crash, and interval 0 falls back to a full rerun.
+fn faults_bench(
+    sf: f64,
+    checkpoint_every: u64,
+    kill: (u32, u64),
+    seed: u64,
+    json_path: Option<&str>,
+) {
+    let (kill_machine, kill_superstep) = kill;
+    let machines = (kill_machine as usize + 1).max(4);
+    println!(
+        "\n## E17 — Fault-tolerant execution @ SF {sf}: crash machine {kill_machine} before \
+         superstep {kill_superstep}, seed {seed}, {machines} machines\n"
+    );
+    // The interval under test rides with fixed reference points; 0 is the
+    // no-checkpointing arm, where the crash aborts the run instead.
+    let mut intervals = vec![0u64, 1, 2, 4, 8, checkpoint_every];
+    intervals.sort_unstable();
+    intervals.dedup();
+    // One crash plus two seeded transient link drops per plan, so every arm
+    // exercises both the checkpoint/replay path and the retry path. The
+    // drop horizon tracks the kill superstep to keep all faults reachable
+    // by the same queries.
+    let drops = FaultPlan::seeded(seed, machines as u32, kill_superstep.max(1) + 2, 0, 2);
+    let mut plan = FaultPlan::new().crash(kill_machine, kill_superstep);
+    for f in drops.faults() {
+        if let vcsql_bsp::Fault::DropLink { from, to, superstep } = *f {
+            plan = plan.drop_link(from, to, superstep);
+        }
+    }
+    let mut arms: Vec<FaultArm> = Vec::new();
+    for (workload, genf, queries) in [
+        ("tpch", tpch::generate as fn(f64, u64) -> Database, tpch::queries()),
+        ("tpcds", tpcds::generate, tpcds::queries()),
+    ] {
+        let db = genf(sf, SEED);
+        let tag = TagGraph::build(&db);
+        let analyzed = analyze_suite(&tag, &queries);
+        let placement = Arc::new(
+            PartitionStrategy::Hash.partition(tag.graph(), machines, &|v| !tag.is_tuple_vertex(v)),
+        );
+        // Fault-free ground truth, one per query: the bag every faulty run
+        // must reproduce and the byte total every recovery must match.
+        let clean = TagJoinExecutor::new(&tag, EngineConfig::with_threads(4))
+            .with_partitioning_shared(Arc::clone(&placement));
+        let baselines: Vec<_> =
+            analyzed.iter().map(|a| clean.execute(a).expect("fault-free query runs")).collect();
+        for &interval in &intervals {
+            let mut arm = FaultArm {
+                workload,
+                interval,
+                queries: 0,
+                checkpoints: 0,
+                checkpoint_bytes: 0,
+                crashes_recovered: 0,
+                recovered_rounds: 0,
+                recovery_bytes: 0,
+                retries: 0,
+                reruns: 0,
+                network_bytes: 0,
+            };
+            for (a, base) in analyzed.iter().zip(&baselines) {
+                // A fresh injector per (query, interval): the full plan is
+                // armed against every query, and fires at most once each.
+                let injector = Arc::new(FaultInjector::new(plan.clone(), interval));
+                let exec = TagJoinExecutor::new(&tag, EngineConfig::with_threads(4))
+                    .with_partitioning_shared(Arc::clone(&placement))
+                    .with_fault_injector(injector);
+                // Bounded retry: each fault fires at most once per injector
+                // lifetime, so `plan.len()` failed attempts is the worst
+                // case before an attempt runs fault-free.
+                let mut out = None;
+                for _ in 0..=plan.len() {
+                    match exec.execute(a) {
+                        Ok(o) => {
+                            out = Some(o);
+                            break;
+                        }
+                        Err(e) => {
+                            let msg = format!("{e}");
+                            if msg.contains("transient fault") {
+                                arm.retries += 1;
+                            } else if msg.contains("fault:") {
+                                arm.reruns += 1;
+                            } else {
+                                panic!("{workload} interval {interval}: non-fault error: {msg}");
+                            }
+                        }
+                    }
+                }
+                let out = out.unwrap_or_else(|| {
+                    panic!("{workload} interval {interval}: retries did not converge")
+                });
+                assert!(
+                    out.relation.same_bag_approx(&base.relation, 1e-9),
+                    "{workload} interval {interval}: result bag diverged from fault-free"
+                );
+                assert_eq!(
+                    out.stats.totals.network_bytes, base.stats.totals.network_bytes,
+                    "{workload} interval {interval}: query traffic diverged from fault-free \
+                     (recovery must be itemized, not folded in)"
+                );
+                let ft = &out.stats.faults;
+                arm.queries += 1;
+                arm.checkpoints += ft.checkpoints;
+                arm.checkpoint_bytes += ft.checkpoint_bytes;
+                arm.crashes_recovered += ft.crashes_recovered;
+                arm.recovered_rounds += ft.recovered_rounds;
+                arm.recovery_bytes += ft.recovery_bytes;
+                arm.network_bytes += out.stats.totals.network_bytes;
+            }
+            arms.push(arm);
+        }
+    }
+    for workload in ["tpch", "tpcds"] {
+        let rows: Vec<Vec<String>> = arms
+            .iter()
+            .filter(|a| a.workload == workload)
+            .map(|a| {
+                vec![
+                    if a.interval == 0 { "off".to_string() } else { a.interval.to_string() },
+                    a.checkpoints.to_string(),
+                    human_bytes(a.checkpoint_bytes as usize),
+                    a.crashes_recovered.to_string(),
+                    a.recovered_rounds.to_string(),
+                    human_bytes(a.recovery_bytes as usize),
+                    a.retries.to_string(),
+                    a.reruns.to_string(),
+                    human_bytes(a.network_bytes as usize),
+                ]
+            })
+            .collect();
+        println!("### {workload} — all result bags identical to fault-free\n");
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "ckpt every",
+                    "checkpoints",
+                    "ckpt bytes",
+                    "crashes recovered",
+                    "replayed rounds",
+                    "recovery bytes",
+                    "retries",
+                    "reruns",
+                    "query net (= fault-free)"
+                ]
+                .map(String::from),
+                &rows
+            )
+        );
+    }
+    if let Some(path) = json_path {
+        let json = faults_json(sf, checkpoint_every, kill, seed, machines, &arms);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repro: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}
+
+/// Serialize the fault sweep by hand (no serde in the offline tree); same
+/// discipline as `trajectory_json` and `serve_json`.
+fn faults_json(
+    sf: f64,
+    checkpoint_every: u64,
+    kill: (u32, u64),
+    seed: u64,
+    machines: usize,
+    arms: &[FaultArm],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"vcsql-fault-report/v1\",");
+    let _ = writeln!(out, "  \"sf\": {sf},");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"machines\": {machines},");
+    let _ = writeln!(out, "  \"checkpoint_every\": {checkpoint_every},");
+    let _ = writeln!(out, "  \"kill\": {{\"machine\": {}, \"superstep\": {}}},", kill.0, kill.1);
+    out.push_str("  \"sweep\": [\n");
+    for (i, a) in arms.iter().enumerate() {
+        let sep = if i + 1 == arms.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"interval\": {}, \"queries\": {}, \
+             \"checkpoints\": {}, \"checkpoint_bytes\": {}, \"crashes_recovered\": {}, \
+             \"recovered_rounds\": {}, \"recovery_bytes\": {}, \"retries\": {}, \
+             \"reruns\": {}, \"network_bytes\": {}}}{sep}",
+            a.workload,
+            a.interval,
+            a.queries,
+            a.checkpoints,
+            a.checkpoint_bytes,
+            a.crashes_recovered,
+            a.recovered_rounds,
+            a.recovery_bytes,
+            a.retries,
+            a.reruns,
+            a.network_bytes,
+        );
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 

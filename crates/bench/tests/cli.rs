@@ -128,8 +128,40 @@ fn bad_threads_and_json_are_usage_errors() {
     );
     assert_usage_exit(
         &["tpch", "--json", "out.json"],
-        "--json only applies to the `bench` and `serve` modes",
+        "--json only applies to the `bench`, `serve` and `faults` modes",
     );
+}
+
+#[test]
+fn bad_fault_flags_are_usage_errors() {
+    // `--kill` wants machine@superstep: a lone number, non-numeric halves
+    // and a dangling `@` must all exit 2, never panic.
+    assert_usage_exit(&["faults", "--kill", "2"], "bad --kill value `2`");
+    assert_usage_exit(&["faults", "--kill", "x@y"], "bad --kill value `x@y`");
+    assert_usage_exit(&["faults", "--kill", "2@"], "bad --kill value `2@`");
+    assert_usage_exit(&["faults", "--kill", "@3"], "bad --kill value `@3`");
+    assert_usage_exit(&["faults", "--kill", "-1@3"], "bad --kill value `-1@3`");
+    assert_usage_exit(&["faults", "--kill"], "--kill needs a value");
+    // Interval 0 (checkpointing off) is an arm the sweep always includes;
+    // asking for it explicitly is a contradiction, so reject it.
+    assert_usage_exit(&["faults", "--checkpoint-every", "0"], "bad --checkpoint-every value `0`");
+    assert_usage_exit(&["faults", "--checkpoint-every", "-2"], "bad --checkpoint-every value `-2`");
+    assert_usage_exit(
+        &["faults", "--checkpoint-every", "often"],
+        "bad --checkpoint-every value `often`",
+    );
+    assert_usage_exit(&["faults", "--checkpoint-every"], "--checkpoint-every needs a value");
+    assert_usage_exit(&["faults", "--seed", "abc"], "bad --seed value `abc`");
+    assert_usage_exit(&["faults", "--seed", "-7"], "bad --seed value `-7`");
+    assert_usage_exit(&["faults", "--seed"], "--seed needs a value");
+    // The fault flags steer only the `faults` sweep — reject them anywhere
+    // they would be silently ignored.
+    assert_usage_exit(&["tpch", "--kill", "2@3"], "--kill only applies to the `faults` mode");
+    assert_usage_exit(
+        &["bench", "--checkpoint-every", "2"],
+        "--checkpoint-every only applies to the `faults` mode",
+    );
+    assert_usage_exit(&["serve", "--seed", "7"], "--seed only applies to the `faults` mode");
 }
 
 #[test]
@@ -332,6 +364,55 @@ fn serve_smoke_emits_report_json() {
     assert!(json.contains("\"worlds\""), "{json}");
     assert!(json.contains("\"merged_tenants\""), "{json}");
     assert!(json.contains("\"fairness_jain\""), "{json}");
+    // The failure-isolation counters are part of the report shape (and all
+    // zero in a fault-free run).
+    assert!(json.contains("\"failures\": {\"panics\": 0, \"timeouts\": 0"), "{json}");
+    let count = |c: char| json.matches(c).count();
+    assert_eq!(count('{'), count('}'), "unbalanced braces:\n{json}");
+    assert_eq!(count('['), count(']'), "unbalanced brackets:\n{json}");
+}
+
+#[test]
+fn faults_smoke_emits_fault_report_json() {
+    // The fault sweep end to end at tiny scale: both workloads, every
+    // checkpoint interval, result bags asserted identical to fault-free
+    // inside the binary, and a well-formed vcsql-fault-report/v1 document.
+    let dir = std::env::temp_dir().join(format!("repro-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("faults.json");
+    let out = repro(&[
+        "faults",
+        "--sf",
+        "0.004",
+        "--kill",
+        "1@2",
+        "--checkpoint-every",
+        "2",
+        "--seed",
+        "7",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "faults smoke failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Fault-tolerant execution"), "{stdout}");
+    assert!(stdout.contains("### tpch"), "{stdout}");
+    assert!(stdout.contains("### tpcds"), "{stdout}");
+    assert!(stdout.contains("crashes recovered"), "{stdout}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(json.contains("\"schema\": \"vcsql-fault-report/v1\""), "{json}");
+    assert!(json.contains("\"kill\": {\"machine\": 1, \"superstep\": 2}"), "{json}");
+    assert!(json.contains("\"checkpoint_every\": 2"), "{json}");
+    assert!(json.contains("\"workload\": \"tpch\""), "{json}");
+    assert!(json.contains("\"workload\": \"tpcds\""), "{json}");
+    for key in ["checkpoint_bytes", "crashes_recovered", "recovered_rounds", "recovery_bytes"] {
+        assert!(json.contains(&format!("\"{key}\"")), "missing `{key}`:\n{json}");
+    }
+    // Interval 1 checkpoints every superstep: the crash at superstep 2 must
+    // actually recover somewhere in the sweep.
+    assert!(json.contains("\"interval\": 0"), "{json}");
+    assert!(json.contains("\"interval\": 1"), "{json}");
     let count = |c: char| json.matches(c).count();
     assert_eq!(count('{'), count('}'), "unbalanced braces:\n{json}");
     assert_eq!(count('['), count(']'), "unbalanced brackets:\n{json}");

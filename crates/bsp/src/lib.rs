@@ -30,6 +30,7 @@
 //!   no vertex is active.
 
 pub mod engine;
+pub mod fault;
 pub mod graph;
 pub mod interner;
 pub mod partition;
@@ -39,6 +40,7 @@ pub mod stats;
 pub mod sync;
 
 pub use engine::{Computation, EngineConfig, Outbox, VertexCtx, DEFAULT_PARALLEL_THRESHOLD};
+pub use fault::{Fault, FaultError, FaultInjector, FaultPlan};
 pub use graph::{Edge, Graph, GraphBuilder, VertexId};
 pub use interner::{Interner, LabelId};
 pub use partition::{
@@ -47,4 +49,4 @@ pub use partition::{
 };
 pub use pool::WorkerPool;
 pub use program::{run_program, Aggregator, Message, VertexProgram};
-pub use stats::{LabelTraffic, RunStats, StepStats, TrafficProfile};
+pub use stats::{FaultTraffic, LabelTraffic, RunStats, StepStats, TrafficProfile};

@@ -76,6 +76,43 @@ impl LabelTraffic {
     }
 }
 
+/// Byte/round costs of fault tolerance, kept **separate** from the BSP
+/// traffic counters: checkpoint writes go to (simulated) stable storage, not
+/// the network, and recovery replays are an overhead of the failure — mixing
+/// either into `totals` would corrupt the paper's communication-cost measure
+/// and the byte-golden baselines. The distributed layer decides which of
+/// these to also bill as network traffic (see `vcsql-dist`'s `NetStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTraffic {
+    /// Bytes written to checkpoints (vertex state + pending inboxes + the
+    /// active set) over the run.
+    pub checkpoint_bytes: u64,
+    /// Number of checkpoints taken.
+    pub checkpoints: u64,
+    /// Bytes re-shipped to restore crashed partitions from checkpoints.
+    pub recovery_bytes: u64,
+    /// Vertices whose state was restored during recoveries.
+    pub recovered_vertices: u64,
+    /// Supersteps replayed after rollbacks (checkpoint superstep → crash
+    /// superstep, summed over recoveries).
+    pub recovered_rounds: u64,
+    /// Machine crashes absorbed by checkpoint recovery (crashes without a
+    /// checkpoint abort the run instead and are not counted here).
+    pub crashes_recovered: u64,
+}
+
+impl FaultTraffic {
+    /// Fold another run's fault costs into this one.
+    pub fn add(&mut self, other: &FaultTraffic) {
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.checkpoints += other.checkpoints;
+        self.recovery_bytes += other.recovery_bytes;
+        self.recovered_vertices += other.recovered_vertices;
+        self.recovered_rounds += other.recovered_rounds;
+        self.crashes_recovered += other.crashes_recovered;
+    }
+}
+
 /// Accumulated statistics for a whole computation.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -87,6 +124,9 @@ pub struct RunStats {
     /// under [`LabelId::NONE`]). Invariant: the per-label counters sum to the
     /// corresponding `totals` fields.
     pub per_label: FxHashMap<LabelId, LabelTraffic>,
+    /// Checkpoint/recovery costs, itemized outside `totals` (all zero on a
+    /// fault-free run without checkpointing).
+    pub faults: FaultTraffic,
 }
 
 impl RunStats {
@@ -144,6 +184,7 @@ impl RunStats {
         for (label, t) in &other.per_label {
             self.per_label.entry(*label).or_default().add(t);
         }
+        self.faults.add(&other.faults);
     }
 }
 

@@ -35,8 +35,8 @@ use crate::table::{ColKey, Partial, Table, TagMsg};
 use std::sync::Arc;
 use vcsql_bsp::program::Aggregator;
 use vcsql_bsp::{
-    Computation, EngineConfig, LabelId, LabelTraffic, PartitionStrategy, Partitioning, RunStats,
-    VertexCtx, VertexId, WorkerPool,
+    Computation, EngineConfig, FaultError, FaultInjector, LabelId, LabelTraffic, PartitionStrategy,
+    Partitioning, RunStats, VertexCtx, VertexId, WorkerPool,
 };
 use vcsql_query::analyze::{lower_subquery, Analyzed, LoweredSubquery, OutputItem};
 use vcsql_query::tagplan::{Step, TagPlan};
@@ -49,8 +49,9 @@ use vcsql_tag::TagGraph;
 
 type Result<T> = std::result::Result<T, RelError>;
 
-/// Per-vertex state of the TAG-join program.
-#[derive(Default)]
+/// Per-vertex state of the TAG-join program. `Clone` so the engine's
+/// fault-tolerance checkpoints can snapshot it.
+#[derive(Default, Clone)]
 pub struct St {
     /// Marked edges per label: the witnesses recorded during reduction
     /// (Algorithm 2 line 9/19).
@@ -75,12 +76,25 @@ pub struct TagJoinExecutor<'t> {
     config: EngineConfig,
     partitioning: Option<Arc<Partitioning>>,
     workers: Option<Arc<WorkerPool>>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl<'t> TagJoinExecutor<'t> {
     /// New executor with the given engine configuration.
     pub fn new(tag: &'t TagGraph, config: EngineConfig) -> Self {
-        TagJoinExecutor { tag, config, partitioning: None, workers: None }
+        TagJoinExecutor { tag, config, partitioning: None, workers: None, faults: None }
+    }
+
+    /// Arm a fault injector: every computation this executor starts
+    /// (subquery runs included — superstep indices are per-computation, but
+    /// each fault fires at most once across the whole execution) injects
+    /// the plan's faults and checkpoints at the injector's cadence.
+    /// Recovered crashes never change results; unabsorbable faults surface
+    /// as [`RelError::Other`] — transient ones marked `transient fault` so
+    /// hosts can retry.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
     }
 
     /// Attach a shared persistent worker pool: every computation this
@@ -158,6 +172,10 @@ impl<'t> TagJoinExecutor<'t> {
         }
         if let Some(pool) = &self.workers {
             comp.set_worker_pool(Arc::clone(pool));
+        }
+        if let Some(inj) = &self.faults {
+            comp.set_fault_injector(Arc::clone(inj));
+            comp.set_state_sizer(st_state_bytes);
         }
 
         // Order components: primary last.
@@ -257,6 +275,15 @@ impl<'t> TagJoinExecutor<'t> {
 
     /// Run the three traversal passes for component `ci`, leaving the
     /// component's root tuple vertices active with pending value tables.
+    ///
+    /// The passes are flattened to a descriptor list and driven by a
+    /// *rewindable* loop: when an injected crash rolls the engine back to a
+    /// checkpoint, [`Computation::take_replay`] hands back the superstep to
+    /// resume from and the loop re-issues the corresponding descriptors —
+    /// the engine's determinism makes the replay bit-identical. A forced
+    /// checkpoint at the phase start pins the earliest possible rollback to
+    /// this traversal (earlier phases' effects already escaped to the host
+    /// and could not be replayed).
     fn run_traversal(
         &self,
         comp: &mut Computation<'_, St, TagMsg>,
@@ -270,25 +297,55 @@ impl<'t> TagJoinExecutor<'t> {
         }
         let steps = q.steps[ci].clone();
 
-        // Pass 1: reduction, bottom-up.
+        // Flatten the three passes: reduction bottom-up, reduction top-down
+        // (reversed list; sends follow marks and receivers replace marks),
+        // collection bottom-up. One descriptor = one superstep.
+        enum Pass {
+            Red { down: bool },
+            Col,
+        }
+        struct Desc {
+            pass: Pass,
+            cur: LabelId,
+            step: Step,
+            prev: Option<(LabelId, bool)>,
+        }
+        let mut descs: Vec<Desc> = Vec::with_capacity(3 * steps.len());
         let mut prev: Option<(LabelId, bool)> = None;
         for s in &steps {
             let cur = q.label(*s)?;
-            self.reduction_step(comp, q, cur, *s, prev, /*down=*/ false);
+            descs.push(Desc { pass: Pass::Red { down: false }, cur, step: *s, prev });
             prev = Some((cur, false));
         }
-        // Pass 2: reduction, top-down (reversed list; sends follow marks and
-        // receivers replace marks).
         for s in steps.iter().rev() {
             let cur = q.label(*s)?;
-            self.reduction_step(comp, q, cur, *s, prev, /*down=*/ true);
+            descs.push(Desc { pass: Pass::Red { down: true }, cur, step: *s, prev });
             prev = Some((cur, true));
         }
-        // Pass 3: collection, bottom-up.
         for s in &steps {
             let cur = q.label(*s)?;
-            self.collection_step(comp, q, cur, *s, prev);
+            descs.push(Desc { pass: Pass::Col, cur, step: *s, prev });
             prev = Some((cur, true));
+        }
+
+        comp.checkpoint_now();
+        let base = comp.stats().supersteps;
+        let mut i = 0usize;
+        while i < descs.len() {
+            let d = &descs[i];
+            match d.pass {
+                Pass::Red { down } => self.reduction_step(comp, q, d.cur, d.step, d.prev, down),
+                Pass::Col => self.collection_step(comp, q, d.cur, d.step, d.prev),
+            }
+            if let Some(from) = comp.take_replay() {
+                debug_assert!(from >= base, "rollback past the phase-start checkpoint");
+                i = (from - base) as usize;
+                continue;
+            }
+            if let Some(e) = comp.take_fault_error() {
+                return Err(fault_to_rel(e));
+            }
+            i += 1;
         }
         Ok(())
     }
@@ -386,6 +443,10 @@ impl<'t> TagJoinExecutor<'t> {
                 self.0.append(&mut other.0);
             }
         }
+        // Aggregator superstep: its value escapes the engine the moment it
+        // returns, so force a checkpoint — a crash here is then recovered
+        // within the call and the gathered tables are valid.
+        comp.checkpoint_now();
         let (_, gathered) =
             comp.superstep(|ctx: &mut VertexCtx<'_, '_, St, TagMsg>, g: &mut Tables| {
                 record_marks(ctx, None);
@@ -396,6 +457,10 @@ impl<'t> TagJoinExecutor<'t> {
                     g.0.push((ctx.id(), v));
                 }
             });
+        debug_assert!(comp.take_replay().is_none(), "forced checkpoint precludes replay");
+        if let Some(e) = comp.take_fault_error() {
+            return Err(fault_to_rel(e));
+        }
         Ok(gathered.0)
     }
 
@@ -430,6 +495,9 @@ impl<'t> TagJoinExecutor<'t> {
             }
         }
 
+        // Aggregator superstep (see `gather_component`): force a checkpoint
+        // so a crash here recovers in-call and `fin` is valid.
+        comp.checkpoint_now();
         let (_, fin) = comp.superstep(|ctx: &mut VertexCtx<'_, '_, St, TagMsg>, g: &mut Fin| {
             record_marks(ctx, None);
             if !passes_filter(ctx, q, tag) {
@@ -496,6 +564,10 @@ impl<'t> TagJoinExecutor<'t> {
                 }
             }
         });
+        debug_assert!(comp.take_replay().is_none(), "forced checkpoint precludes replay");
+        if let Some(e) = comp.take_fault_error() {
+            return Err(fault_to_rel(e));
+        }
 
         // ---- assemble output --------------------------------------------------
         match a.agg_class {
@@ -509,6 +581,9 @@ impl<'t> TagJoinExecutor<'t> {
                 // partials they received (each group computed in parallel at
                 // its own vertex — the paper's local-aggregation strength).
                 let la_attrs: Vec<VertexId> = comp.active().to_vec();
+                // The merged `la` states are read from the host right after
+                // this superstep: checkpoint so a crash recovers in-call.
+                comp.checkpoint_now();
                 comp.superstep_simple(|ctx: &mut VertexCtx<'_, '_, St, TagMsg>| {
                     let mut received: Vec<(Box<[Value]>, Partial)> = Vec::new();
                     for m in ctx.messages() {
@@ -524,6 +599,10 @@ impl<'t> TagJoinExecutor<'t> {
                         merge_group(la, k, p);
                     }
                 });
+                debug_assert!(comp.take_replay().is_none(), "forced checkpoint precludes replay");
+                if let Some(e) = comp.take_fault_error() {
+                    return Err(fault_to_rel(e));
+                }
                 let mut groups = fin.groups;
                 for v in la_attrs {
                     if let Some(map) = &comp.state(v).la {
@@ -606,6 +685,42 @@ impl<'t> TagJoinExecutor<'t> {
 // ---------------------------------------------------------------------------
 // Vertex-side helpers (free functions so closures stay lean)
 // ---------------------------------------------------------------------------
+
+/// Map an engine fault to the executor's error type. Transient faults carry
+/// the `transient fault` marker substring so hosts (the server's retry loop)
+/// can distinguish retry-worthy failures without a new error variant.
+fn fault_to_rel(e: FaultError) -> RelError {
+    if e.is_transient() {
+        RelError::Other(format!("transient fault: {e}"))
+    } else {
+        RelError::Other(format!("fault: {e}"))
+    }
+}
+
+/// Checkpoint size of one vertex's [`St`] in bytes, mirroring the wire
+/// model of `TagMsg::byte_size` (8-byte words, 16 per value, 24 per
+/// accumulator): marks are 8 bytes per witness edge plus a word per label
+/// entry, cached filter verdicts a word, local-aggregation groups the same
+/// price as a shipped `TagMsg::Partial`.
+fn st_state_bytes(st: &St) -> u64 {
+    let mut bytes = 8; // fixed per-vertex header word
+    for marks in st.marked.values() {
+        bytes += 8 + 8 * marks.len() as u64;
+    }
+    if st.pass.is_some() {
+        bytes += 8;
+    }
+    if let Some(la) = &st.la {
+        for (key, p) in la {
+            bytes += 32
+                + key.len() as u64 * 16
+                + p.accs.len() as u64 * 24
+                + p.having.len() as u64 * 24
+                + p.rep.len() as u64 * 16;
+        }
+    }
+    bytes
+}
 
 /// Record reduction marks from incoming signals: union during bottom-up,
 /// replace during top-down (Algorithm 2 lines 9 and 19).

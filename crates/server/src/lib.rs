@@ -36,15 +36,16 @@ pub use admission::{AdmissionController, AdmissionPermit, AdmissionStats};
 pub use cache::{ShardedPlanCache, TenantCacheStats};
 
 use crate::sync::{Mutex, MutexGuard, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, PoisonError};
 use vcsql_bsp::{
-    balance_cap, migrate_step, EngineConfig, PartitionStrategy, Partitioning, TrafficProfile,
-    WorkerPool, DEFAULT_BALANCE_SLACK,
+    balance_cap, migrate_step, EngineConfig, FaultInjector, PartitionStrategy, Partitioning,
+    TrafficProfile, WorkerPool, DEFAULT_BALANCE_SLACK,
 };
 use vcsql_core::{ExecOutput, QueryPlan, TagJoinExecutor};
 use vcsql_dist::NetStats;
 use vcsql_relation::RelError;
-use vcsql_session::vertex_state_bytes;
+use vcsql_session::{panic_message, vertex_state_bytes};
 use vcsql_tag::TagGraph;
 
 type Result<T> = std::result::Result<T, RelError>;
@@ -111,6 +112,24 @@ pub struct ServerConfig {
     pub max_in_flight_per_tenant: usize,
     /// Most in-flight executions across all tenants (must be at least 1).
     pub max_in_flight_total: usize,
+    /// Deterministic fault injection shared by every tenant's executions
+    /// (`None` = fault-free). The injector's fired-once semantics span
+    /// queries and tenants, so a planned fault hits exactly one execution.
+    pub fault_injector: Option<Arc<FaultInjector>>,
+    /// Most *re-executions* of one query after transient injected faults
+    /// (dropped deliveries). `0` fails fast; panics never retry.
+    pub max_retries: usize,
+    /// Base of the exponential retry backoff, in modelled seconds: attempt
+    /// `n` (0-based) waits `retry_backoff_secs * 2^n` before re-executing.
+    /// Modelled time, like the runtime figures — nothing actually sleeps.
+    pub retry_backoff_secs: f64,
+    /// Per-query deadline on the modelled clock: backoff waits plus the
+    /// successful attempt's modelled runtime (at
+    /// [`ServerConfig::bandwidth_bytes_per_sec`]) must fit inside it, or
+    /// the query fails with a per-tenant timeout. `None` disables it.
+    pub deadline_secs: Option<f64>,
+    /// Bandwidth the deadline's modelled runtime is priced at.
+    pub bandwidth_bytes_per_sec: f64,
 }
 
 impl Default for ServerConfig {
@@ -128,7 +147,36 @@ impl Default for ServerConfig {
             arbitration: Arbitration::Merged,
             max_in_flight_per_tenant: 4,
             max_in_flight_total: 16,
+            fault_injector: None,
+            max_retries: 3,
+            retry_backoff_secs: 0.05,
+            deadline_secs: None,
+            bandwidth_bytes_per_sec: 125_000_000.0,
         }
+    }
+}
+
+/// Per-tenant (and, aggregated, per-server) failure-isolation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureStats {
+    /// Executions that panicked and were caught at the tenant boundary.
+    pub panics: u64,
+    /// Executions that blew their modelled-clock deadline.
+    pub timeouts: u64,
+    /// Re-executions after transient faults (each retry counted).
+    pub retries: u64,
+    /// Machine crashes recovered from a checkpoint *inside* successful
+    /// executions (confined recovery; the query still answered).
+    pub recoveries: u64,
+}
+
+impl FailureStats {
+    /// Fold another tenant's (or attempt's) counters into this one.
+    pub fn add(&mut self, other: &FailureStats) {
+        self.panics += other.panics;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.recoveries += other.recoveries;
     }
 }
 
@@ -148,6 +196,8 @@ pub struct ServerStats {
     /// Cumulative network traffic over every execution, migrations
     /// included.
     pub net: NetStats,
+    /// Failure-isolation counters, across all tenants.
+    pub failures: FailureStats,
 }
 
 /// Counters one tenant accumulates.
@@ -158,6 +208,9 @@ pub struct TenantStats {
     /// This tenant's cumulative network traffic, including the migration
     /// bytes its executions triggered.
     pub net: NetStats,
+    /// This tenant's failure-isolation counters: panics caught, deadlines
+    /// blown, transient-fault retries, crash recoveries.
+    pub failures: FailureStats,
 }
 
 /// The placement every tenant shares, plus the in-flight arbitration walk.
@@ -261,6 +314,23 @@ impl QueryServer {
         }
         if config.max_in_flight_per_tenant == 0 || config.max_in_flight_total == 0 {
             return Err(invalid("admission bounds must admit at least one execution".into()));
+        }
+        if !config.retry_backoff_secs.is_finite() || config.retry_backoff_secs < 0.0 {
+            return Err(invalid(format!(
+                "retry backoff must be non-negative and finite, got {}",
+                config.retry_backoff_secs
+            )));
+        }
+        if let Some(d) = config.deadline_secs {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(invalid(format!("deadline must be positive and finite, got {d}")));
+            }
+        }
+        if !config.bandwidth_bytes_per_sec.is_finite() || config.bandwidth_bytes_per_sec <= 0.0 {
+            return Err(invalid(format!(
+                "bandwidth must be positive and finite, got {}",
+                config.bandwidth_bytes_per_sec
+            )));
         }
         let current = (config.machines > 1).then(|| {
             Arc::new(vcsql_dist::tag_partitioning(tag, config.machines, &config.strategy))
@@ -479,24 +549,118 @@ impl TenantSession {
     /// cached plan, then the run, then fold this run's traffic into the
     /// tenant's decayed vote and give arbitration one step. The returned
     /// [`NetStats`] itemizes any migration bytes this execution's
-    /// arbitration step shipped.
+    /// arbitration step shipped, plus checkpoint and recovery traffic when
+    /// fault injection is armed.
+    ///
+    /// Failure isolation: a panicking execution is caught here and becomes
+    /// a per-tenant error — the admission permit is released by its RAII
+    /// drop on *every* exit path (return, `?`, unwind), so a dying query
+    /// never leaks an in-flight slot, and no tenant or server state is
+    /// mutated by a failed run except the [`FailureStats`] that record it.
+    /// Transient injected faults (dropped deliveries) are retried up to
+    /// [`ServerConfig::max_retries`] times with exponential backoff on the
+    /// modelled clock; crashes recover from checkpoints inside the engine;
+    /// a configured modelled-clock deadline turns slow recoveries into
+    /// per-tenant timeouts.
     pub fn run_sql(&self, sql: &str) -> Result<(ExecOutput, NetStats)> {
+        // RAII slot: dropped on success, error and unwind alike. Holding it
+        // for the whole retry loop means a retrying query occupies one slot,
+        // not one per attempt.
         let _permit = self.server.admission.acquire(self.tenant.id);
-        let plan = self.prepare(sql)?;
-        let mut exec = TagJoinExecutor::new(&self.server.tag, self.server.config.engine);
-        if let Some(p) = self.server.partitioning() {
-            exec = exec.with_partitioning_shared(p);
-        }
-        if let Some(pool) = &self.server.pool {
-            exec = exec.with_worker_pool(Arc::clone(pool));
-        }
-        let out = exec.execute_plan(&plan)?;
+        let cfg = &self.server.config;
+        let mut failures = FailureStats::default();
+        // Modelled seconds this query has burned waiting out backoffs.
+        let mut waited = 0.0f64;
+        let outcome = (|| {
+            let plan = self.prepare(sql)?;
+            for attempt in 0..=cfg.max_retries {
+                let mut exec = TagJoinExecutor::new(&self.server.tag, cfg.engine);
+                if let Some(p) = self.server.partitioning() {
+                    exec = exec.with_partitioning_shared(p);
+                }
+                if let Some(pool) = &self.server.pool {
+                    exec = exec.with_worker_pool(Arc::clone(pool));
+                }
+                if let Some(inj) = &cfg.fault_injector {
+                    exec = exec.with_fault_injector(Arc::clone(inj));
+                }
+                // The executor only reads shared server state through Arcs
+                // (graph, placement, pool), so unwinding out of it cannot
+                // tear anything a later execution observes; the catch just
+                // converts the panic into this tenant's error.
+                let caught = catch_unwind(AssertUnwindSafe(|| exec.execute_plan(&plan)));
+                let err = match caught {
+                    Ok(Ok(out)) => return Ok(out),
+                    Ok(Err(e)) => e,
+                    Err(payload) => {
+                        // Panics are never retried: unlike a planned
+                        // transient fault, a panic's cause is unknown and
+                        // re-running it would just burn the budget.
+                        failures.panics += 1;
+                        return Err(RelError::Other(format!(
+                            "tenant {}: execution panicked: {}",
+                            self.tenant.id,
+                            panic_message(&*payload)
+                        )));
+                    }
+                };
+                let transient = format!("{err}").contains("transient fault");
+                if !transient || attempt == cfg.max_retries {
+                    return Err(err);
+                }
+                // Exponential backoff on the modelled clock before the
+                // re-execution, bounded by the deadline if one is set.
+                waited += cfg.retry_backoff_secs * 2.0f64.powi(attempt as i32);
+                if cfg.deadline_secs.is_some_and(|d| waited > d) {
+                    failures.timeouts += 1;
+                    return Err(RelError::Other(format!(
+                        "tenant {}: deadline exceeded after {} retries ({waited:.3}s modelled backoff): {err}",
+                        self.tenant.id, attempt + 1
+                    )));
+                }
+                failures.retries += 1;
+            }
+            unreachable!("retry loop returns on its last attempt")
+        })();
+        let out = match outcome {
+            Ok(out) => out,
+            Err(e) => {
+                // A failed execution leaves the tenant's profile, the
+                // shared placement and the query counters untouched; only
+                // the failure record lands.
+                lock(&self.tenant.stats).failures.add(&failures);
+                lock(&self.server.stats).failures.add(&failures);
+                return Err(e);
+            }
+        };
+        failures.recoveries += out.stats.faults.crashes_recovered;
         let mut net = NetStats {
             network_messages: out.stats.totals.network_messages,
             network_bytes: out.stats.totals.network_bytes,
             rounds: out.stats.supersteps,
             ..Default::default()
         };
+        // Itemize fault-tolerance traffic the same way `vcsql-session`
+        // does: checkpoints to stable storage (outside the totals),
+        // recovery re-shipping over the wire (inside them).
+        let ft = &out.stats.faults;
+        net.record_checkpoint(ft.checkpoint_bytes);
+        net.record_recovery(ft.recovered_vertices, ft.recovery_bytes, ft.recovered_rounds);
+        // The deadline covers the whole query: modelled backoff waits plus
+        // the successful attempt's modelled runtime.
+        if let Some(deadline) = cfg.deadline_secs {
+            let runtime =
+                waited + vcsql_dist::modelled_runtime(0.0, &net, cfg.bandwidth_bytes_per_sec)?;
+            if runtime > deadline {
+                failures.timeouts += 1;
+                lock(&self.tenant.stats).failures.add(&failures);
+                lock(&self.server.stats).failures.add(&failures);
+                return Err(RelError::Other(format!(
+                    "tenant {}: deadline exceeded ({runtime:.3}s modelled > {deadline:.3}s)",
+                    self.tenant.id
+                )));
+            }
+        }
         {
             let mut profile = lock(&self.tenant.profile);
             if let Some(h) = self.server.config.profile_half_life {
@@ -509,13 +673,20 @@ impl TenantSession {
             let mut stats = lock(&self.tenant.stats);
             stats.queries += 1;
             stats.net.absorb(&net);
+            stats.failures.add(&failures);
         }
         {
             let mut stats = lock(&self.server.stats);
             stats.queries += 1;
             stats.net.absorb(&net);
+            stats.failures.add(&failures);
         }
         Ok((out, net))
+    }
+
+    /// This tenant's failure-isolation counters.
+    pub fn failure_stats(&self) -> FailureStats {
+        lock(&self.tenant.stats).failures
     }
 
     /// This tenant's lifetime counters.
@@ -537,6 +708,7 @@ impl TenantSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vcsql_bsp::FaultPlan;
     use vcsql_workload::tpch;
 
     const JOIN_SQL: &str = "SELECT c.c_name FROM customer c, orders o, lineitem l \
@@ -569,6 +741,12 @@ mod tests {
             ServerConfig { profile_half_life: Some(f64::INFINITY), ..config.clone() },
             ServerConfig { max_in_flight_per_tenant: 0, ..config.clone() },
             ServerConfig { max_in_flight_total: 0, ..config.clone() },
+            ServerConfig { retry_backoff_secs: -1.0, ..config.clone() },
+            ServerConfig { retry_backoff_secs: f64::NAN, ..config.clone() },
+            ServerConfig { deadline_secs: Some(0.0), ..config.clone() },
+            ServerConfig { deadline_secs: Some(f64::INFINITY), ..config.clone() },
+            ServerConfig { bandwidth_bytes_per_sec: 0.0, ..config.clone() },
+            ServerConfig { bandwidth_bytes_per_sec: f64::NAN, ..config.clone() },
         ];
         for c in bad {
             assert!(QueryServer::start(&tag, c).is_err());
@@ -668,6 +846,168 @@ mod tests {
             "arbitration must ship fewer migration bytes than the tenant fight \
              (merged {merged} vs unilateral {unilateral})"
         );
+    }
+
+    /// The tentpole's server guarantee: a panicking query releases its
+    /// admission slot via the permit's RAII drop, becomes *that tenant's*
+    /// error, and every other tenant keeps getting answers.
+    #[test]
+    fn panicking_tenant_leaks_no_slot_and_others_keep_answering() {
+        let (tag, config) = setup(1);
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new().compute_panic(1), 0));
+        let server = QueryServer::start(
+            &tag,
+            ServerConfig { fault_injector: Some(Arc::clone(&inj)), ..config },
+        )
+        .unwrap();
+        let victim = server.open_session();
+        let bystander = server.open_session();
+        let err = victim.run_sql(JOIN_SQL).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("tenant 0") && msg.contains("execution panicked"), "{msg}");
+        assert_eq!(server.admission.total_in_flight(), 0, "panicked query leaked its slot");
+        assert_eq!(victim.failure_stats(), FailureStats { panics: 1, ..Default::default() });
+        assert_eq!(victim.stats().queries, 0, "panicked run must not count as served");
+        // The bystander — and even the victim, since the fault fired once —
+        // still get served through the same admission queue.
+        let lone =
+            TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(JOIN_SQL).unwrap();
+        let (out_b, _) = bystander.run_sql(JOIN_SQL).unwrap();
+        let (out_v, _) = victim.run_sql(JOIN_SQL).unwrap();
+        assert!(out_b.relation.same_bag_approx(&lone.relation, 1e-9));
+        assert!(out_v.relation.same_bag_approx(&lone.relation, 1e-9));
+        assert_eq!(bystander.failure_stats(), FailureStats::default());
+        assert_eq!(server.stats().failures.panics, 1);
+        assert_eq!(server.admission.total_in_flight(), 0);
+    }
+
+    /// Concurrent version of the slot-leak regression: tenants hammer the
+    /// server while one of them panics mid-flight; bounds hold throughout
+    /// and the queue fully drains.
+    #[test]
+    fn concurrent_panic_does_not_wedge_admission() {
+        let (tag, config) = setup(1);
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new().compute_panic(2), 0));
+        let server = QueryServer::start(
+            &tag,
+            ServerConfig {
+                fault_injector: Some(inj),
+                max_in_flight_per_tenant: 1,
+                max_in_flight_total: 2,
+                ..config
+            },
+        )
+        .unwrap();
+        let sessions: Vec<TenantSession> = (0..4).map(|_| server.open_session()).collect();
+        let driver = WorkerPool::new(4);
+        driver.run(4, &|w| {
+            for _ in 0..3 {
+                // Exactly one of the twelve executions dies; everyone else
+                // must still be admitted and answered.
+                let _ = sessions[w].run_sql(JOIN_SQL);
+            }
+        });
+        assert_eq!(server.admission.total_in_flight(), 0, "a slot leaked");
+        assert_eq!(server.admission_stats().admitted, 12);
+        assert_eq!(server.stats().failures.panics, 1);
+        assert_eq!(server.stats().queries, 11, "one panicked, eleven served");
+    }
+
+    /// Transient injected faults (dropped deliveries) are retried with
+    /// modelled backoff and succeed without the client ever seeing them.
+    #[test]
+    fn transient_faults_retry_to_success() {
+        let (tag, config) = setup(4);
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new().drop_link(0, 2, 1), 0));
+        let server = QueryServer::start(
+            &tag,
+            ServerConfig { fault_injector: Some(Arc::clone(&inj)), ..config },
+        )
+        .unwrap();
+        let tenant = server.open_session();
+        let lone =
+            TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(JOIN_SQL).unwrap();
+        let (out, _) = tenant.run_sql(JOIN_SQL).unwrap();
+        assert!(inj.any_fired(), "the planned delivery fault never fired");
+        assert!(out.relation.same_bag_approx(&lone.relation, 1e-9));
+        let failures = tenant.failure_stats();
+        assert_eq!(failures.retries, 1, "one transient fault, one retry");
+        assert_eq!(failures.panics, 0);
+        assert_eq!(failures.timeouts, 0);
+        assert_eq!(tenant.stats().queries, 1);
+    }
+
+    /// With retries exhausted (max_retries 0) a transient fault degrades to
+    /// a per-tenant error instead of being retried forever.
+    #[test]
+    fn exhausted_retries_surface_the_transient_fault() {
+        let (tag, config) = setup(4);
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new().drop_link(1, 3, 2), 0));
+        let server = QueryServer::start(
+            &tag,
+            ServerConfig { fault_injector: Some(inj), max_retries: 0, ..config },
+        )
+        .unwrap();
+        let tenant = server.open_session();
+        let err = tenant.run_sql(JOIN_SQL).unwrap_err();
+        assert!(format!("{err}").contains("transient fault"), "{err}");
+        assert_eq!(tenant.stats().queries, 0);
+        assert_eq!(server.admission.total_in_flight(), 0);
+        // Fired once: the next run is clean.
+        assert!(tenant.run_sql(JOIN_SQL).is_ok());
+    }
+
+    /// A modelled-clock deadline turns an over-budget query into a
+    /// per-tenant timeout — and the failure is itemized as such.
+    #[test]
+    fn deadline_degrades_to_per_tenant_timeout() {
+        let (tag, config) = setup(4);
+        // Any multi-machine run ships real bytes, so a vanishing deadline
+        // must time out even without faults.
+        let server =
+            QueryServer::start(&tag, ServerConfig { deadline_secs: Some(1e-12), ..config.clone() })
+                .unwrap();
+        let tenant = server.open_session();
+        let err = tenant.run_sql(JOIN_SQL).unwrap_err();
+        assert!(format!("{err}").contains("deadline exceeded"), "{err}");
+        assert_eq!(tenant.failure_stats().timeouts, 1);
+        assert_eq!(tenant.stats().queries, 0, "timed-out run must not count as served");
+        assert_eq!(server.admission.total_in_flight(), 0);
+        // A deadline with headroom leaves the same query untouched.
+        let roomy =
+            QueryServer::start(&tag, ServerConfig { deadline_secs: Some(1e6), ..config }).unwrap();
+        let t = roomy.open_session();
+        assert!(t.run_sql(JOIN_SQL).is_ok());
+        assert_eq!(t.failure_stats(), FailureStats::default());
+    }
+
+    /// Machine crashes recover from checkpoints *inside* the execution: the
+    /// client sees a normal answer, and the recovery is itemized in both
+    /// the per-query net and the tenant's failure counters.
+    #[test]
+    fn crash_recovery_is_invisible_to_the_client_and_itemized() {
+        let (tag, config) = setup(4);
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new().crash(1, 3), 2));
+        let server = QueryServer::start(
+            &tag,
+            ServerConfig { fault_injector: Some(Arc::clone(&inj)), ..config },
+        )
+        .unwrap();
+        let tenant = server.open_session();
+        let lone =
+            TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(JOIN_SQL).unwrap();
+        let (out, net) = tenant.run_sql(JOIN_SQL).unwrap();
+        assert!(inj.any_fired(), "the planned crash never fired");
+        assert!(out.relation.same_bag_approx(&lone.relation, 1e-9));
+        assert!(net.checkpoint_bytes > 0, "checkpointing run itemized no checkpoint bytes");
+        assert!(net.recovery_bytes > 0, "recovered crash itemized no recovery bytes");
+        assert!(net.recovery_bytes <= net.network_bytes);
+        let failures = tenant.failure_stats();
+        assert_eq!(failures.recoveries, 1);
+        assert_eq!(failures.retries, 0, "in-engine recovery needs no server retry");
+        assert_eq!(tenant.stats().queries, 1);
+        assert_eq!(server.stats().failures.recoveries, 1);
+        assert_eq!(server.stats().net.recovery_bytes, net.recovery_bytes);
     }
 
     #[test]

@@ -40,10 +40,11 @@ pub use vcsql_core::{ExecOutput, QueryPlan, TagJoinExecutor};
 pub use vcsql_dist::NetStats;
 
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use vcsql_bsp::{
-    balance_cap, migrate_step, EngineConfig, PartitionStrategy, Partitioning, TrafficProfile,
-    VertexId, WorkerPool, DEFAULT_BALANCE_SLACK,
+    balance_cap, migrate_step, EngineConfig, FaultInjector, PartitionStrategy, Partitioning,
+    TrafficProfile, VertexId, WorkerPool, DEFAULT_BALANCE_SLACK,
 };
 use vcsql_relation::{RelError, Value};
 use vcsql_tag::TagGraph;
@@ -195,6 +196,9 @@ pub struct Session {
     /// Cross-query observed traffic, seeded with the placement profile.
     accumulated: TrafficProfile,
     pending: Option<PendingMigration>,
+    /// Deterministic fault injection shared by every execution this session
+    /// runs (`None` = fault-free). Fired-once semantics span queries.
+    faults: Option<Arc<FaultInjector>>,
     stats: SessionStats,
 }
 
@@ -258,6 +262,7 @@ impl Session {
             partitioning,
             workers,
             pending: None,
+            faults: None,
             stats: SessionStats::default(),
             cache,
             config,
@@ -286,7 +291,14 @@ impl Session {
     /// Execute a prepared statement under the session's placement (or the
     /// statement's hint placement), returning the execution output and the
     /// network share of its traffic — including, itemized, the bytes of any
-    /// vertex migration this execution's adaptation step performed.
+    /// vertex migration this execution's adaptation step performed and of
+    /// any checkpoint/recovery traffic fault injection caused.
+    ///
+    /// Failure contract: an execution that errors *or panics* mid-flight
+    /// leaves the session unchanged — no query counted, no traffic folded
+    /// into the accumulated profile, no adaptation step taken — the same
+    /// contract as [`Session::load_profile`]'s error paths. Every session
+    /// mutation below happens after the fallible execution returns `Ok`.
     pub fn execute(&mut self, prepared: &PreparedQuery) -> Result<(ExecOutput, NetStats)> {
         let mut exec = TagJoinExecutor::new(&self.tag, self.config.engine);
         if let Some(p) = self.placement_for(prepared) {
@@ -295,13 +307,30 @@ impl Session {
         if let Some(pool) = &self.workers {
             exec = exec.with_worker_pool(Arc::clone(pool));
         }
-        let out = exec.execute_plan(prepared.plan())?;
+        if let Some(inj) = &self.faults {
+            exec = exec.with_fault_injector(Arc::clone(inj));
+        }
+        // The executor borrows no session state mutably (graph and placement
+        // are shared by Arc), so unwinding out of it cannot leave the
+        // session torn — the catch only converts the panic into the same
+        // unchanged-session error path an `Err` takes.
+        let out = catch_unwind(AssertUnwindSafe(|| exec.execute_plan(prepared.plan()))).map_err(
+            |payload| RelError::Other(format!("execution panicked: {}", panic_message(&*payload))),
+        )??;
         let mut net = NetStats {
             network_messages: out.stats.totals.network_messages,
             network_bytes: out.stats.totals.network_bytes,
             rounds: out.stats.supersteps,
             ..Default::default()
         };
+        // Charge fault-tolerance traffic: checkpoint writes go to stable
+        // storage (itemized, outside the network totals); recovery re-ships
+        // the crashed partition's checkpoint state over the wire (itemized
+        // and counted in the totals, like migrations). The engine keeps
+        // these out of its per-label `totals`, so nothing is double-billed.
+        let ft = &out.stats.faults;
+        net.record_checkpoint(ft.checkpoint_bytes);
+        net.record_recovery(ft.recovered_vertices, ft.recovery_bytes, ft.recovered_rounds);
         if let Some(h) = self.config.profile_half_life {
             self.accumulated.decay(0.5f64.powf(1.0 / h));
         }
@@ -393,6 +422,69 @@ impl Session {
             let finished = self.pending.take().expect("pending checked above");
             self.placement_profile = finished.profile;
         }
+    }
+
+    /// Arm deterministic fault injection: every execution this session runs
+    /// from now on shares `injector`, so its fired-once fault semantics span
+    /// queries. Injected faults surface as ordinary [`RelError`]s from
+    /// [`Session::execute`] (transient ones marked `transient fault:` for
+    /// retry policies upstream) and, per the failure contract there, a
+    /// failed execution leaves the session unchanged.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.faults = Some(injector);
+    }
+
+    /// The armed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Deterministically re-place a crashed machine's vertices: machine
+    /// `m`'s vertices are reassigned, in vertex-id order, each to the
+    /// currently least-loaded surviving machine (lowest machine id on
+    /// ties), and any in-flight migration is dropped — its target was
+    /// derived for loads that no longer exist. The machine count is
+    /// unchanged (`m` simply ends up empty), so a replacement machine is
+    /// refilled by later adaptation instead of by a special path. Returns
+    /// the number of vertices evacuated. Errors — leaving the session
+    /// unchanged — on a single-machine session or an out-of-range `m`.
+    ///
+    /// Determinism: the walk order (vertex id) and the tie-break (machine
+    /// id) are both total orders independent of thread count or timing, so
+    /// every session evacuating the same machine from the same placement
+    /// lands on the identical new placement.
+    pub fn evacuate_machine(&mut self, m: u16) -> Result<u64> {
+        let Some(current) = self.partitioning.as_deref() else {
+            return Err(RelError::Other(
+                "evacuate_machine: a single-machine session has no surviving machine".into(),
+            ));
+        };
+        let machines = current.machines();
+        if m as usize >= machines {
+            return Err(RelError::Other(format!(
+                "evacuate_machine: machine {m} out of range for {machines} machines"
+            )));
+        }
+        self.pending = None;
+        let n = self.tag.graph().vertex_count();
+        let mut assignment: Vec<u16> = (0..n).map(|v| current.machine_of(v as VertexId)).collect();
+        let mut load = current.load();
+        let mut moved = 0u64;
+        for slot in assignment.iter_mut() {
+            if *slot != m {
+                continue;
+            }
+            let target = (0..machines as u16)
+                .filter(|&t| t != m)
+                .min_by_key(|&t| (load[t as usize], t))
+                .expect("machines > 1 implies a surviving machine");
+            *slot = target;
+            load[m as usize] -= 1;
+            load[target as usize] += 1;
+            moved += 1;
+        }
+        self.partitioning = Some(Arc::new(Partitioning::from_assignment(assignment, machines)));
+        Ok(moved)
     }
 
     /// The TAG graph this session serves.
@@ -507,6 +599,17 @@ impl Session {
     }
 }
 
+/// Best-effort text of a caught panic payload (`&str` and `String` cover
+/// every `panic!` in this workspace). Public so `vcsql-server`'s failure
+/// isolation renders the identical message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
 /// Wire size of one vertex's state, charged when the vertex migrates: the
 /// same 8-byte-word-plus-aligned-strings model both engines charge for
 /// messages (`Table::approx_bytes`, `unsafe_row_bytes`), plus one id word.
@@ -528,6 +631,7 @@ pub fn vertex_state_bytes(tag: &TagGraph, v: VertexId) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vcsql_bsp::FaultPlan;
     use vcsql_workload::tpch;
 
     fn session(machines: usize) -> (Arc<TagGraph>, SessionConfig) {
@@ -771,6 +875,136 @@ mod tests {
         let (out_u, _) = s.execute(&unhinted).unwrap();
         assert!(out_h.relation.same_bag_approx(&out_u.relation, 1e-9));
         assert_eq!(out_h.stats.total_messages(), out_u.stats.total_messages());
+    }
+
+    /// The failure contract: an execution aborted by an unrecoverable
+    /// injected fault leaves every piece of session state — query count,
+    /// accumulated profile, placement, pending migration — exactly as it
+    /// was, and a retry (the fault fires once) succeeds normally.
+    #[test]
+    fn failed_execution_leaves_the_session_unchanged() {
+        let (tag, config) = session(4);
+        let mut s = Session::open(&tag, config).unwrap();
+        let prepared = s.prepare(JOIN_SQL).unwrap();
+        s.execute(&prepared).unwrap();
+        let queries = s.stats().queries;
+        let accumulated = s.accumulated_profile().clone();
+        let net_before = s.stats().net;
+        let pending_before = s.migration_pending();
+        let placement: Vec<u16> =
+            tag.graph().vertices().map(|v| s.partitioning().unwrap().machine_of(v)).collect();
+        // Checkpointing disabled (interval 0): the crash is unrecoverable.
+        s.set_fault_injector(Arc::new(FaultInjector::new(FaultPlan::new().crash(0, 1), 0)));
+        let err = s.execute(&prepared).unwrap_err();
+        assert!(format!("{err}").contains("fault"), "unexpected error: {err}");
+        assert_eq!(s.stats().queries, queries, "failed run must not count as served");
+        assert_eq!(s.accumulated_profile(), &accumulated, "partial traffic leaked into profile");
+        assert_eq!(s.stats().net, net_before);
+        assert_eq!(s.migration_pending(), pending_before);
+        for (i, v) in tag.graph().vertices().enumerate() {
+            assert_eq!(placement[i], s.partitioning().unwrap().machine_of(v));
+        }
+        // The fault fired once; the retry runs clean and is counted.
+        let (out, _) = s.execute(&prepared).unwrap();
+        assert!(!out.relation.is_empty());
+        assert_eq!(s.stats().queries, queries + 1);
+    }
+
+    /// A panic inside execution is caught, surfaced as a per-query error,
+    /// and honors the same unchanged-session contract as error returns.
+    #[test]
+    fn panicking_execution_is_isolated_and_leaves_the_session_unchanged() {
+        let (tag, config) = session(2);
+        let mut s = Session::open(&tag, config).unwrap();
+        let prepared = s.prepare(JOIN_SQL).unwrap();
+        s.set_fault_injector(Arc::new(FaultInjector::new(FaultPlan::new().compute_panic(1), 0)));
+        let err = s.execute(&prepared).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("execution panicked"), "unexpected error: {msg}");
+        assert!(msg.contains("injected compute fault"), "payload text lost: {msg}");
+        assert_eq!(s.stats().queries, 0);
+        assert!(s.accumulated_profile().is_empty(), "panicked run polluted the profile");
+        assert!(!s.migration_pending());
+        // The injector's panic fired once; the session stays usable.
+        let (out, _) = s.execute(&prepared).unwrap();
+        let oneshot =
+            TagJoinExecutor::new(&tag, EngineConfig::sequential()).run_sql(JOIN_SQL).unwrap();
+        assert!(out.relation.same_bag_approx(&oneshot.relation, 1e-9));
+        assert_eq!(s.stats().queries, 1);
+    }
+
+    /// Checkpoint and recovery traffic reach the per-query `NetStats`
+    /// itemized — checkpoints outside the network totals, recovery inside —
+    /// and an injected crash changes neither results nor the fault-free
+    /// network figure beyond the recovery re-ship.
+    #[test]
+    fn recovery_traffic_is_itemized_in_net_stats() {
+        let (tag, config) = session(4);
+        let mut free = Session::open(&tag, config.clone()).unwrap();
+        let fp = free.prepare(JOIN_SQL).unwrap();
+        let (free_out, free_net) = free.execute(&fp).unwrap();
+        assert_eq!(free_net.checkpoint_bytes, 0, "fault-free run wrote checkpoints");
+        assert_eq!(free_net.recovery_bytes, 0);
+        assert_eq!(free_net.recovered_rounds, 0);
+
+        let mut faulty = Session::open(&tag, config).unwrap();
+        let prepared = faulty.prepare(JOIN_SQL).unwrap();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new().crash(1, 3), 2));
+        faulty.set_fault_injector(Arc::clone(&inj));
+        let (out, net) = faulty.execute(&prepared).unwrap();
+        assert!(inj.any_fired(), "the planned crash never fired");
+        assert!(out.relation.same_bag_approx(&free_out.relation, 1e-9));
+        assert_eq!(out.stats.total_messages(), free_out.stats.total_messages());
+        assert!(net.checkpoint_bytes > 0, "checkpointing session itemized no checkpoint bytes");
+        assert!(net.recovery_bytes > 0, "recovered crash itemized no recovery bytes");
+        assert!(net.recovery_bytes <= net.network_bytes);
+        assert_eq!(
+            net.network_bytes,
+            free_net.network_bytes + net.recovery_bytes,
+            "recovery must be the only network delta against the fault-free run"
+        );
+        assert_eq!(net.rounds, free_net.rounds, "replayed rounds were double-billed");
+        assert_eq!(faulty.stats().net.recovery_bytes, net.recovery_bytes);
+    }
+
+    /// Evacuating a crashed machine re-places its vertices deterministically
+    /// (vertex-id order, least-loaded survivor, lowest id on ties), drops
+    /// any pending migration, preserves results, and rejects impossible
+    /// requests without touching the session.
+    #[test]
+    fn evacuate_machine_is_deterministic_and_preserves_results() {
+        let (tag, config) = session(4);
+        let mut s = Session::open(&tag, config.clone()).unwrap();
+        let prepared = s.prepare(JOIN_SQL).unwrap();
+        let (before, _) = s.execute(&prepared).unwrap();
+        let moved = s.evacuate_machine(2).unwrap();
+        assert!(moved > 0, "machine 2 held no vertices");
+        assert!(!s.migration_pending(), "stale migration target survived the evacuation");
+        let placement = s.partitioning().unwrap();
+        assert_eq!(placement.machines(), 4, "machine count must not change");
+        assert_eq!(placement.load()[2], 0, "evacuated machine still owns vertices");
+        let evacuated: Vec<u16> = tag.graph().vertices().map(|v| placement.machine_of(v)).collect();
+
+        // A twin session following the same history lands on the identical
+        // placement.
+        let mut twin = Session::open(&tag, config.clone()).unwrap();
+        let tp = twin.prepare(JOIN_SQL).unwrap();
+        twin.execute(&tp).unwrap();
+        assert_eq!(twin.evacuate_machine(2).unwrap(), moved);
+        for (i, v) in tag.graph().vertices().enumerate() {
+            assert_eq!(evacuated[i], twin.partitioning().unwrap().machine_of(v));
+        }
+
+        // Queries keep answering correctly under the evacuated placement.
+        let (after, _) = s.execute(&prepared).unwrap();
+        assert!(after.relation.same_bag_approx(&before.relation, 1e-9));
+        assert_eq!(after.stats.total_messages(), before.stats.total_messages());
+
+        // Impossible evacuations are rejected.
+        assert!(s.evacuate_machine(9).is_err(), "out-of-range machine must fail");
+        let (tag1, config1) = session(1);
+        let mut one = Session::open(&tag1, config1).unwrap();
+        assert!(one.evacuate_machine(0).is_err(), "single machine has no survivors");
     }
 
     /// A prepared statement's cached hint placement is keyed on the machine

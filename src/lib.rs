@@ -32,5 +32,6 @@ pub use vcsql_session as session;
 pub use vcsql_tag as tag;
 pub use vcsql_workload as workload;
 
+pub use vcsql_bsp::{Fault, FaultError, FaultInjector, FaultPlan};
 pub use vcsql_server::{Arbitration, QueryServer, ServerConfig, TenantSession};
 pub use vcsql_session::{Cluster, PlanCache, PreparedQuery, Session, SessionConfig, SessionStats};

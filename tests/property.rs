@@ -18,7 +18,7 @@ use vcsql::query::{analyze::analyze, parse};
 use vcsql::relation::schema::{Column, Schema};
 use vcsql::relation::{DataType, Database, Relation, Tuple, Value};
 use vcsql::tag::{MaterializePolicy, TagBuilder, TagGraph};
-use vcsql::{Session, SessionConfig};
+use vcsql::{FaultInjector, FaultPlan, Session, SessionConfig};
 
 /// A random database of `n` binary int tables t0(a,b), t1(a,b), ... with
 /// values in a small domain (to force join hits) and occasional NULLs.
@@ -338,6 +338,73 @@ proptest! {
             );
             prop_assert!(net.migration_messages as usize <= budget, "budget exceeded");
             prop_assert!(net.migration_bytes <= net.network_bytes);
+        }
+    }
+
+    /// Deterministic fault injection is invisible in the results: under
+    /// random seeded `FaultPlan`s (crashes + transient drops over random
+    /// machine counts and checkpoint cadences), the executor's result bag
+    /// and its message/byte/superstep accounting must be bit-identical to
+    /// the fault-free run — recovery costs appear only in the itemized
+    /// `faults` counters, which stay zero when no fault fires.
+    #[test]
+    fn fault_injection_preserves_results_and_accounting(
+        db in arb_db(3),
+        filter in 0i64..8,
+        agg in any::<bool>(),
+        n in 2usize..=3,
+        machines in 2usize..=4,
+        seed in any::<u64>(),
+        checkpoint_every in 1u64..4,
+        crashes in 0usize..3,
+        drops in 0usize..2,
+    ) {
+        let sql = chain_sql(n, filter, agg);
+        let tag = TagGraph::build(&db);
+        let analyzed = analyze(&parse(&sql).unwrap(), tag.schemas()).unwrap();
+        let strategy = PartitionStrategy::Hash;
+        let free = TagJoinExecutor::new(&tag, EngineConfig::sequential())
+            .with_partition_strategy(&strategy, machines)
+            .execute(&analyzed)
+            .unwrap();
+        prop_assert_eq!(
+            free.stats.faults,
+            vcsql::bsp::FaultTraffic::default(),
+            "fault-free path must not touch the fault counters"
+        );
+
+        let plan = FaultPlan::seeded(seed, machines as u32, 8, crashes, drops);
+        let retries_needed = plan.len();
+        let inj = Arc::new(FaultInjector::new(plan, checkpoint_every));
+        let exec = TagJoinExecutor::new(&tag, EngineConfig::sequential())
+            .with_partition_strategy(&strategy, machines)
+            .with_fault_injector(Arc::clone(&inj));
+        // Bounded retry: every fault fires at most once per injector, so at
+        // most one rerun per planned fault is ever needed.
+        let mut out = None;
+        for _ in 0..=retries_needed {
+            match exec.execute(&analyzed) {
+                Ok(o) => { out = Some(o); break; }
+                Err(_) => continue,
+            }
+        }
+        let out = out.expect("execution must succeed once all faults are spent");
+        prop_assert!(
+            out.relation.same_bag_approx(&free.relation, 1e-9),
+            "faults changed the result of `{sql}`"
+        );
+        prop_assert_eq!(out.stats.total_messages(), free.stats.total_messages());
+        prop_assert_eq!(out.stats.total_bytes(), free.stats.total_bytes());
+        prop_assert_eq!(out.stats.supersteps, free.stats.supersteps);
+        prop_assert_eq!(&out.stats.totals, &free.stats.totals);
+        prop_assert_eq!(&out.stats.steps, &free.stats.steps);
+        if !inj.any_fired() {
+            prop_assert_eq!(out.stats.faults.recovery_bytes, 0);
+            prop_assert_eq!(out.stats.faults.crashes_recovered, 0);
+            prop_assert_eq!(out.stats.faults.recovered_rounds, 0);
+        }
+        if out.stats.faults.crashes_recovered == 0 {
+            prop_assert_eq!(out.stats.faults.recovery_bytes, 0);
         }
     }
 

@@ -46,6 +46,7 @@ const SPAWN_ALLOW_FILES: &[&str] = &[
     "crates/server/src/admission.rs",
     "crates/server/src/sync.rs",
     "crates/server/tests/loom_cache.rs",
+    "crates/server/tests/loom_admission.rs",
 ];
 
 /// Prefixes allowed to spawn: the compat shims (loom's controlled threads are
@@ -544,6 +545,7 @@ mod tests {
         assert!(rules("crates/server/src/admission.rs", src).is_empty());
         assert!(rules("crates/server/src/sync.rs", src).is_empty());
         assert!(rules("crates/server/tests/loom_cache.rs", src).is_empty());
+        assert!(rules("crates/server/tests/loom_admission.rs", src).is_empty());
         assert_eq!(rules("crates/server/src/lib.rs", src), vec!["no-thread-spawn"]);
         assert_eq!(rules("crates/server/src/cache.rs", src), vec!["no-thread-spawn"]);
     }
